@@ -1,0 +1,78 @@
+"""Shared benchmark configuration.
+
+Figure benchmarks run the real experiment pipeline at ``QUICK_SCALE`` (the
+paper's setup shrunk ~5x: 36 tasks, Table I sizes x0.2, scenario times x0.2)
+with a fixed seed, then assert the *shape* of the paper's result — who wins
+and roughly by how much — and record wall-clock cost via pytest-benchmark.
+
+Runs are memoised per configuration so a figure's baseline run is computed
+once even when several assertions consume it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.edge.background import DEFAULT_SCENARIO, TRAFFIC_1, TRAFFIC_2
+from repro.edge.task import SizeClass
+from repro.experiments.harness import (
+    QUICK_SCALE,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+BENCH_SEED = 0
+BENCH_SCALE = QUICK_SCALE
+
+_SCENARIOS = {
+    "default": DEFAULT_SCENARIO,
+    "traffic1": TRAFFIC_1,
+    "traffic2": TRAFFIC_2,
+}
+_CLASSES = {c.label: c for c in SizeClass}
+
+
+@lru_cache(maxsize=64)
+def cached_run(
+    policy: str,
+    workload: str,
+    metric: str,
+    size_label: str,
+    probing_interval: float = 0.1,
+    scenario: str = "default",
+    probe_layout: str = "mesh",
+    k: float = 0.020,
+    size_scale: float = None,
+    total_tasks: int = None,
+) -> ExperimentResult:
+    scale = BENCH_SCALE
+    if size_scale is not None or total_tasks is not None:
+        from repro.experiments.harness import ExperimentScale
+
+        scale = ExperimentScale(
+            size_scale=size_scale if size_scale is not None else BENCH_SCALE.size_scale,
+            total_tasks=total_tasks if total_tasks is not None else BENCH_SCALE.total_tasks,
+            mean_interarrival=BENCH_SCALE.mean_interarrival,
+            time_scale=BENCH_SCALE.time_scale,
+        )
+    config = ExperimentConfig(
+        policy=policy,
+        workload=workload,
+        metric=metric,
+        size_class=_CLASSES[size_label],
+        seed=BENCH_SEED,
+        scale=scale,
+        scenario=_SCENARIOS[scenario],
+        probing_interval=probing_interval,
+        probe_layout=probe_layout,
+        k=k,
+    )
+    return run_experiment(config)
+
+
+@pytest.fixture
+def run():
+    return cached_run

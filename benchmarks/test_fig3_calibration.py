@@ -1,0 +1,57 @@
+"""Fig. 3 — max queue depth and RTT vs egress-port utilization.
+
+Paper's observations this bench reproduces:
+
+* max queue depth stays small (<5 packets) up to ~50 % utilization, then
+  grows sharply toward full utilization;
+* RTT sits at the 40 ms baseline when idle and inflates several-fold at
+  full utilization.
+
+Durations are shortened from the paper's 300 s per level; the shape is
+stable well before that.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.experiments.calibration import run_calibration
+from repro.experiments.report import render_calibration
+
+DURATION = 20.0
+
+
+@lru_cache(maxsize=16)
+def point(utilization: float):
+    return run_calibration(utilization, duration=DURATION, seed=1)
+
+
+def test_fig3_idle_baseline(benchmark):
+    p = benchmark.pedantic(lambda: point(0.0), rounds=1, iterations=1)
+    assert p.mean_rtt == pytest.approx(0.040, abs=0.005)  # paper: ~40 ms
+    assert p.mean_max_qdepth < 1.0
+
+
+def test_fig3_queue_growth_shape(benchmark):
+    levels = (0.0, 0.3, 0.5, 0.7, 0.9, 1.0)
+    points = benchmark.pedantic(
+        lambda: [point(u) for u in levels], rounds=1, iterations=1
+    )
+    queues = [p.mean_max_qdepth for p in points]
+    # Monotone growth (allowing sampling noise of half a packet)...
+    assert all(b >= a - 0.5 for a, b in zip(queues, queues[1:]))
+    # ...small below 50 % utilization, pronounced at 90-100 %.
+    assert queues[2] < 5.0
+    assert queues[4] > queues[2] + 2.0
+    assert queues[5] > 5.0
+    print()
+    print(render_calibration(points))
+
+
+def test_fig3_delay_inflation(benchmark):
+    idle, busy = benchmark.pedantic(
+        lambda: (point(0.0), point(1.0)), rounds=1, iterations=1
+    )
+    # Paper: 40 ms -> ~250 ms at full utilization; our queues are bounded by
+    # the 64-packet BMv2 buffer so we require a >=1.5x inflation.
+    assert busy.mean_rtt > idle.mean_rtt * 1.5

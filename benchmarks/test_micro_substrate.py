@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the simulation substrate.
+
+These are not paper figures; they track the cost of the hot paths so
+regressions in simulator performance (which multiply every experiment's
+wall-clock) are visible."""
+
+import pytest
+
+from repro.p4.headers import IntHopRecord, append_hop_record, decode_probe_payload, encode_probe_header
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import MSS, ReliableTransfer, TransferSinkApp, UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.simnet.topology import Network
+from repro.units import mbps, ms
+
+
+def test_engine_event_throughput(benchmark):
+    def churn():
+        sim = Simulator()
+        count = 50_000
+
+        def noop():
+            pass
+
+        for i in range(count):
+            sim.schedule(i * 1e-6, noop)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(churn)
+    assert executed == 50_000
+
+
+def test_packet_forwarding_throughput(benchmark):
+    """End-to-end CBR through one switch: events/packet cost."""
+
+    def run():
+        sim = Simulator()
+        net = Network(sim, RandomStreams(0), switch_service_jitter=0.0)
+        net.add_host("h1")
+        net.add_host("h2")
+        net.add_switch("s01")
+        net.attach_host("h1", "s01", fabric_rate_bps=mbps(20), delay=ms(1))
+        net.attach_host("h2", "s01", fabric_rate_bps=mbps(20), delay=ms(1))
+        net.finalize()
+        UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(18), burstiness="cbr")
+        flow.run_for(10.0)
+        sim.run(until=11.0)
+        return flow.packets_emitted
+
+    emitted = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert emitted > 10_000
+
+
+def test_transport_transfer_cost(benchmark):
+    def run():
+        sim = Simulator()
+        net = Network(sim, RandomStreams(0), switch_service_jitter=0.0)
+        net.add_host("h1")
+        net.add_host("h2")
+        net.add_switch("s01")
+        net.attach_host("h1", "s01", fabric_rate_bps=mbps(20), delay=ms(5))
+        net.attach_host("h2", "s01", fabric_rate_bps=mbps(20), delay=ms(5))
+        net.finalize()
+        TransferSinkApp(net.host("h2"), 6000)
+        transfer = ReliableTransfer(net.host("h1"), net.address_of("h2"), 6000, 1_000_000)
+        transfer.start()
+        sim.run(until=120.0)
+        return transfer
+
+    transfer = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert transfer.done
+
+
+def test_int_stack_encode_decode(benchmark):
+    record = IntHopRecord(
+        switch_id=7, egress_port=2, max_qdepth=12, link_latency=0.0106, egress_ts=123.456
+    )
+
+    def roundtrip():
+        payload = encode_probe_header(0)
+        for _ in range(5):
+            payload = append_hop_record(payload, record)
+        return decode_probe_payload(payload)
+
+    records = benchmark(roundtrip)
+    assert len(records) == 5

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Reproduce Fig. 3 and feed the calibration into the scheduler.
+
+Sweeps egress-port utilization on the two-host / one-switch topology,
+measuring the per-probing-interval maximum queue depth (via INT registers
+and probes) and RTT (via ping) — then turns the measured pairs into the
+queue<->utilization curve the bandwidth estimator inverts, and fits the
+queue->latency conversion factor k that Algorithm 1 uses (automating what
+the paper leaves as future work).
+
+Run:  python examples/calibration_curve.py [--duration SECONDS]
+"""
+
+import argparse
+
+from repro.core.estimators import DelayEstimator
+from repro.experiments.calibration import (
+    calibration_to_curve,
+    run_calibration_sweep,
+)
+from repro.experiments.report import render_calibration
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--duration", type=float, default=30.0,
+        help="seconds per utilization level (paper: 300)",
+    )
+    args = parser.parse_args()
+
+    levels = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+    print(f"Sweeping {len(levels)} utilization levels, "
+          f"{args.duration:.0f}s each (paper: 300s each)...\n")
+    points = run_calibration_sweep(levels, duration=args.duration)
+
+    print(render_calibration(points))
+
+    # 1. The queue -> utilization curve (Section III-D's inversion).
+    curve = calibration_to_curve(points)
+    print("\nCalibrated queue->utilization curve:")
+    for q in (0, 2, 5, 10, 20, 40):
+        print(f"  max queue {q:>3} pkts  ->  estimated utilization {curve.utilization(q)*100:5.1f}%")
+
+    # 2. The queue -> latency factor k (Section III-C; paper fixes k = 20 ms
+    #    manually and defers auto-tuning).
+    baseline_rtt = points[0].mean_rtt
+    samples = [(p.mean_max_qdepth, (p.mean_rtt - 0) / 2.0) for p in points]
+    k = DelayEstimator.calibrated_k(
+        [(q, rtt) for q, rtt in samples], baseline_rtt / 2.0
+    )
+    print(f"\nLeast-squares fit of the conversion factor: k = {k*1e3:.1f} ms/packet")
+    print("(the paper uses k = 20 ms; pass k and curve into NetworkAwareScheduler)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Heterogeneous edge servers — the paper's future work, working.
+
+Section VI: "We will also consider heterogeneous edge server scenario in
+which tasks may have certain hardware (e.g., GPU) or software (e.g., Keras)
+requirements that needs to be considered when scheduling tasks."
+
+Here only two of seven servers carry GPUs.  GPU-requiring tasks are ranked
+over the eligible pair only (still network-aware between them); plain tasks
+use the whole fleet.  The compute-aware load term steers a second GPU job
+away from the GPU server that is already busy.
+
+Run:  python examples/heterogeneous_servers.py
+"""
+
+from repro.core.extensions import HeterogeneityAwareScheduler
+from repro.edge.device import EdgeDevice
+from repro.edge.metrics import MetricsCollector
+from repro.edge.server import EdgeServer
+from repro.edge.task import Job, SizeClass, Task
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.simnet import Simulator
+from repro.simnet.random import RandomStreams
+from repro.telemetry import ProbeResponder, ProbeSender
+from repro.units import kb
+
+GPU_NODES = {"node4", "node8"}
+
+
+def main() -> None:
+    streams = RandomStreams(4)
+    sim = Simulator()
+    topo = build_fig4_network(sim, streams)
+    net = topo.network
+
+    capabilities = {}
+    for name in topo.worker_names:
+        caps = {"gpu", "keras"} if name in GPU_NODES else {"keras"}
+        EdgeServer(
+            net.host(name), capabilities=caps,
+            load_report_addr=topo.scheduler_addr, load_report_interval=0.5,
+        )
+        capabilities[net.address_of(name)] = caps
+
+    scheduler = HeterogeneityAwareScheduler(
+        net.host(topo.scheduler_name),
+        [net.address_of(n) for n in topo.worker_names],
+        link_capacity_bps=topo.fabric_rate_bps,
+        capabilities=capabilities,
+        mean_exec_time=3.0,
+    )
+    all_addrs = [net.address_of(n) for n in topo.node_names]
+    for name in topo.node_names:
+        host = net.host(name)
+        if name == topo.scheduler_name:
+            ProbeResponder(host, collector=scheduler.collector)
+        else:
+            ProbeResponder(host, collector_addr=topo.scheduler_addr)
+        ProbeSender(host, [a for a in all_addrs if a != host.addr], probe_size=256).start()
+
+    metrics = MetricsCollector()
+    log = []
+
+    def submit(device_name, requirements, label, exec_time=4.0):
+        device = EdgeDevice(
+            net.host(device_name), topo.scheduler_addr, metrics,
+            metric=("delay", frozenset(requirements)),
+        )
+        task = Task(
+            job_id=0, size_class=SizeClass.VS, data_bytes=kb(200),
+            exec_time=exec_time, requirements=frozenset(requirements),
+        )
+        job = Job(device_name=device_name, workload="serverless", tasks=[task])
+        device.submit_job(job)
+        log.append((label, task.task_id))
+
+    # GPU job #1 runs long; by the time #2 is scheduled, load reports have
+    # told the scheduler its first choice is busy.
+    sim.schedule(1.0, submit, "node1", {"gpu"}, "GPU job #1 from node1", 10.0)
+    sim.schedule(2.0, submit, "node1", {"keras"}, "Keras-only job from node1")
+    sim.schedule(4.0, submit, "node1", {"gpu"}, "GPU job #2 from node1")
+    sim.schedule(5.0, submit, "node7", {"gpu", "keras"}, "GPU+Keras job from node7")
+    sim.run(until=60.0)
+
+    print(f"GPU-capable servers: {sorted(GPU_NODES)}\n")
+    for label, task_id in log:
+        record = metrics.get(task_id)
+        server = net.name_of(record.server_addr)
+        gpu = "GPU" if server in GPU_NODES else "no GPU"
+        print(f"  {label:28s} -> {server} ({gpu}), "
+              f"completed in {record.completion_time:.2f}s")
+
+    gpu_records = [metrics.get(tid) for label, tid in log if "GPU job" in label]
+    assert all(net.name_of(r.server_addr) in GPU_NODES for r in gpu_records)
+    servers_used = {net.name_of(r.server_addr) for r in gpu_records}
+    print(f"\nBoth GPU jobs placed on GPU hardware; load reports spread them "
+          f"over {len(servers_used)} server(s).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""INT vs SNMP: the paper's motivation, measured.
+
+Sections I-II argue that port-counter monitoring at "tens of seconds" is too
+coarse for edge scheduling because it misses transient congestion.  This
+example runs the *same* network-aware ranking logic on two telemetry feeds:
+
+* INT: 100 ms register collection via probes;
+* SNMP: 30 s out-of-band port-counter polls;
+
+and injects a short congestion burst.  Watch what each scheduler believes
+about the congested path before, during, and after the burst.
+
+Run:  python examples/int_vs_snmp.py
+"""
+
+from repro.core import NetworkAwareScheduler
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.legacy import SnmpPoller, SnmpScheduler
+from repro.simnet import Simulator
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.telemetry import ProbeResponder, ProbeSender
+from repro.units import mbps, to_mbps
+
+
+def main() -> None:
+    streams = RandomStreams(3)
+    sim = Simulator()
+    topo = build_fig4_network(sim, streams)
+    net = topo.network
+    worker_addrs = [net.address_of(n) for n in topo.worker_names]
+
+    # INT-driven scheduler on node6 (the usual pipeline).
+    int_sched = NetworkAwareScheduler(
+        net.host(topo.scheduler_name), worker_addrs,
+        link_capacity_bps=topo.fabric_rate_bps,
+    )
+    all_addrs = [net.address_of(n) for n in topo.node_names]
+    for name in topo.node_names:
+        host = net.host(name)
+        if name == topo.scheduler_name:
+            ProbeResponder(host, collector=int_sched.collector)
+        else:
+            ProbeResponder(host, collector_addr=topo.scheduler_addr)
+        ProbeSender(host, [a for a in all_addrs if a != host.addr], probe_size=256).start()
+
+    # SNMP-driven scheduler observing the same network (out-of-band polls,
+    # the paper's "typical SNMP monitoring interval" of 30 s).  It lives on
+    # a different host because both services bind the scheduler port; only
+    # its ranking logic is exercised here.
+    poller = SnmpPoller(sim, net, poll_interval=30.0)
+    poller.start()
+    snmp_sched = SnmpScheduler(
+        net.host("node2"), worker_addrs, net, poller,
+        processing_delay=1e-3,
+    )
+
+    for name in topo.node_names:
+        UdpSink(net.host(name))
+
+    # A 6-second congestion burst toward node8 (pod 4), starting at t=5.
+    for i, src in enumerate(("node3", "node5")):
+        UdpCbrFlow(
+            net.host(src), net.address_of("node8"),
+            mbps(12), rng=streams.get(f"burst{i}"),
+        ).run_for(6.0, delay=5.0)
+
+    node7 = net.address_of("node7")
+    node8 = net.address_of("node8")
+
+    def estimates() -> str:
+        int_bw = dict(int_sched.rank(node7, "bandwidth"))[node8]
+        snmp_bw = dict(snmp_sched.rank(node7, "bandwidth"))[node8]
+        return (f"INT thinks node7->node8 has {to_mbps(int_bw):5.1f} Mb/s | "
+                f"SNMP thinks {to_mbps(snmp_bw):5.1f} Mb/s")
+
+    print("Congestion burst toward node8: t = 5s .. 11s\n")
+    for t, label in [
+        (3.0, "before the burst "),
+        (8.0, "during the burst "),
+        (13.0, "after the burst  "),
+        (31.0, "after SNMP's poll"),
+    ]:
+        sim.run(until=t)
+        print(f"t={t:5.1f}s ({label}): {estimates()}")
+
+    print(
+        "\nINT tracked the burst in real time; SNMP slept through it and then"
+        "\nreported a diluted average of a burst that was already over —"
+        "\nexactly the failure mode the paper's Introduction describes."
+    )
+
+
+if __name__ == "__main__":
+    main()

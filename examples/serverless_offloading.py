@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Serverless (FaaS) offloading under congestion — the paper's Fig. 5 setup.
+
+Runs the same serverless workload (one task per job, Table I small class)
+on the Fig. 4 topology under all three scheduling policies and prints the
+per-class completion-time comparison plus the per-task gain distribution.
+
+Run:  python examples/serverless_offloading.py [--tasks N] [--seed S]
+"""
+
+import argparse
+
+from repro.edge.task import SizeClass
+from repro.experiments.comparison import run_comparison
+from repro.experiments.ecdf import fraction_above, paired_gains
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    POLICY_RANDOM,
+    ExperimentConfig,
+    ExperimentScale,
+)
+from repro.experiments.report import render_comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, default=36, help="tasks per run")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--size-scale", type=float, default=0.2,
+        help="Table I scale factor (1.0 = the paper's sizes; slower)",
+    )
+    args = parser.parse_args()
+
+    scale = ExperimentScale(
+        size_scale=args.size_scale,
+        total_tasks=args.tasks,
+        mean_interarrival=0.8 * args.size_scale / 0.2,
+        time_scale=args.size_scale,
+    )
+    base = ExperimentConfig(
+        workload="serverless", metric="delay", scale=scale, seed=args.seed
+    )
+
+    print(f"Serverless workload: {args.tasks} tasks, seed {args.seed}, "
+          f"Table I x{args.size_scale:g}\n")
+    comparison = run_comparison(
+        base,
+        size_classes=(SizeClass.VS, SizeClass.S),
+        policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
+    )
+    print(render_comparison(comparison, measure="completion"))
+    print()
+    print(render_comparison(comparison, measure="transfer"))
+
+    gains = paired_gains(
+        comparison.result(SizeClass.S, POLICY_AWARE),
+        comparison.result(SizeClass.S, POLICY_NEAREST),
+    )
+    print(
+        f"\nPer-task gain vs nearest (class S): "
+        f"{fraction_above(gains, 0.0)*100:.0f}% of tasks gained, "
+        f"{fraction_above(gains, 0.2)*100:.0f}% gained more than 20%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools 65.5 without the ``wheel`` package,
+so PEP 660 editable installs fail; this shim enables the legacy
+``pip install -e . --no-build-isolation --no-use-pep517`` path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — reproduction of "INT Based Network-Aware Task Scheduling for Edge
+Computing" (IPDPS-W 2021).
+
+The package layers four subsystems (bottom-up):
+
+* :mod:`repro.simnet` — packet-level discrete-event network simulator
+  (replaces the paper's Mininet/BMv2 testbed);
+* :mod:`repro.p4` — miniature programmable data plane, including the
+  paper's register-based INT program;
+* :mod:`repro.telemetry` — probe generation and INT report collection;
+* :mod:`repro.core` — the paper's contribution: telemetry store, topology
+  inference, delay/bandwidth estimators, Algorithm 1 ranking, the
+  network-aware scheduler, and the Nearest/Random baselines;
+* :mod:`repro.edge` — edge-computing workload layer (tasks, devices,
+  servers, background congestion);
+* :mod:`repro.experiments` — harnesses that regenerate every table and
+  figure in the paper's evaluation.
+
+Quickstart: see ``examples/quickstart.py`` for an end-to-end walk-through.
+"""
+
+from repro.simnet import Network, Simulator
+from repro.simnet.random import RandomStreams
+from repro.core import (
+    NearestScheduler,
+    NetworkAwareScheduler,
+    RandomScheduler,
+    TelemetryStore,
+)
+from repro.edge import (
+    Job,
+    SizeClass,
+    Task,
+    WORKLOAD_DISTRIBUTED,
+    WORKLOAD_SERVERLESS,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Network",
+    "Simulator",
+    "RandomStreams",
+    "NearestScheduler",
+    "NetworkAwareScheduler",
+    "RandomScheduler",
+    "TelemetryStore",
+    "Job",
+    "SizeClass",
+    "Task",
+    "WORKLOAD_DISTRIBUTED",
+    "WORKLOAD_SERVERLESS",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Small, dependency-light statistics used by the experiment harnesses.
+
+Everything operates on plain sequences and returns floats/arrays, so the
+experiment modules stay free of analysis clutter and the functions are easy
+to property-test (ECDF monotonicity, bootstrap coverage, etc.).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["mean", "percentile", "ecdf", "bootstrap_ci", "summarize", "Summary"]
+
+
+def mean(values: Sequence[float]) -> float:
+    if len(values) == 0:
+        raise ValueError("mean of empty sequence")
+    return float(np.mean(np.asarray(values, dtype=float)))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    if len(values) == 0:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def ecdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(x, F)`` with x sorted ascending and
+    ``F[i] = (i + 1) / n`` — the fraction of samples <= x[i]."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        raise ValueError("ecdf of empty sequence")
+    frac = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, frac
+
+
+def ecdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples <= threshold (one point of the ECDF)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("ecdf_at of empty sequence")
+    return float(np.mean(arr <= threshold))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    stat: Callable[[np.ndarray], float] = np.mean,
+    n_resamples: int = 1000,
+    alpha: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for ``stat``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("bootstrap of empty sequence")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    stats = np.array([stat(arr[row]) for row in idx])
+    lo = float(np.percentile(stats, 100 * alpha / 2))
+    hi = float(np.percentile(stats, 100 * (1 - alpha / 2)))
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class Summary:
+    n: int
+    mean: float
+    std: float
+    p50: float
+    p95: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize of empty sequence")
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,137 @@
+"""Analysis of packet traces captured by :class:`~repro.simnet.trace.PacketTracer`.
+
+Turns raw hop events into the quantities a network analyst reads off a
+pcap: per-flow throughput over time, per-hop residence times, where drops
+cluster, and queue-depth percentiles at a given egress.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.simnet.trace import HopEvent
+
+__all__ = [
+    "FlowStats",
+    "flow_stats",
+    "throughput_timeseries",
+    "hop_residence_times",
+    "drop_hotspots",
+    "queue_depth_summary",
+]
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """Summary of one flow as observed at a given node."""
+
+    flow_id: int
+    packets: int
+    bytes: int
+    first_seen: float
+    last_seen: float
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.first_seen
+
+    @property
+    def throughput_bps(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.bytes * 8.0 / self.duration
+
+
+def flow_stats(events: Sequence[HopEvent], node: str) -> Dict[int, FlowStats]:
+    """Per-flow statistics from one node's ingress events."""
+    acc: Dict[int, List[HopEvent]] = defaultdict(list)
+    for event in events:
+        if event.node == node and event.kind == "ingress":
+            acc[event.flow_id].append(event)
+    out: Dict[int, FlowStats] = {}
+    for flow_id, flow_events in acc.items():
+        times = [e.time for e in flow_events]
+        out[flow_id] = FlowStats(
+            flow_id=flow_id,
+            packets=len(flow_events),
+            bytes=sum(e.size_bytes for e in flow_events),
+            first_seen=min(times),
+            last_seen=max(times),
+        )
+    return out
+
+
+def throughput_timeseries(
+    events: Sequence[HopEvent],
+    node: str,
+    *,
+    bin_width: float = 1.0,
+    flow_id: Optional[int] = None,
+) -> List[Tuple[float, float]]:
+    """(bin start, bits/s) series of traffic arriving at ``node``."""
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    selected = [
+        e for e in events
+        if e.node == node and e.kind == "ingress"
+        and (flow_id is None or e.flow_id == flow_id)
+    ]
+    if not selected:
+        return []
+    start = min(e.time for e in selected)
+    bins: Dict[int, int] = defaultdict(int)
+    for e in selected:
+        bins[int((e.time - start) // bin_width)] += e.size_bytes
+    n_bins = max(bins) + 1
+    return [
+        (start + i * bin_width, bins.get(i, 0) * 8.0 / bin_width)
+        for i in range(n_bins)
+    ]
+
+
+def hop_residence_times(events: Sequence[HopEvent]) -> Dict[str, List[float]]:
+    """Per-node ingress->egress residence times (queueing + service start),
+    keyed by node name.  Only packets with both events at a node count."""
+    ingress_at: Dict[Tuple[int, str], float] = {}
+    residence: Dict[str, List[float]] = defaultdict(list)
+    for event in sorted(events, key=lambda e: e.time):
+        key = (event.packet_id, event.node)
+        if event.kind == "ingress":
+            ingress_at[key] = event.time
+        elif event.kind == "egress" and key in ingress_at:
+            residence[event.node].append(event.time - ingress_at.pop(key))
+    return dict(residence)
+
+
+def drop_hotspots(events: Sequence[HopEvent]) -> List[Tuple[str, int]]:
+    """Nodes ranked by drop count, descending."""
+    counts: Dict[str, int] = defaultdict(int)
+    for event in events:
+        if event.kind == "drop":
+            counts[event.node] += 1
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def queue_depth_summary(
+    events: Sequence[HopEvent], node: str
+) -> Optional[Dict[str, float]]:
+    """Percentiles of the enqueue-time depth observed by packets leaving
+    ``node`` — the distribution behind the INT max-register readings."""
+    depths = [
+        e.enq_depth for e in events
+        if e.node == node and e.kind == "egress" and e.enq_depth is not None
+    ]
+    if not depths:
+        return None
+    arr = np.asarray(depths, dtype=float)
+    return {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the experiment harnesses:
+
+* ``calibrate`` — the Fig. 3 utilization sweep;
+* ``compare``   — a Figs. 5/6/7-style policy comparison;
+* ``sweep``     — the Fig. 9 probing-interval sweep;
+* ``reproduce`` — everything, in paper order (Fig. 3, 5, 6, 7, 8, 9).
+
+All output is plain text tables (`repro.experiments.report`); ``--out``
+additionally writes the report to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+from repro.edge.task import SizeClass
+from repro.experiments.calibration import run_calibration_sweep
+from repro.experiments.comparison import (
+    FIG5_CONFIG,
+    FIG6_CONFIG,
+    FIG7_CONFIG,
+    run_comparison,
+)
+from repro.experiments.ecdf import fraction_above, paired_gains
+from repro.experiments.harness import (
+    FULL_SCALE,
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    POLICY_RANDOM,
+    QUICK_SCALE,
+    SMOKE_SCALE,
+    ExperimentConfig,
+)
+from repro.experiments.probing_sweep import DEFAULT_INTERVALS, run_probing_sweep
+from repro.experiments.report import (
+    render_calibration,
+    render_comparison,
+    render_ecdf_points,
+    render_probing_sweep,
+)
+
+SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
+FIGURES = {"fig5": (FIG5_CONFIG, "completion"), "fig6": (FIG6_CONFIG, "completion"),
+           "fig7": (FIG7_CONFIG, "transfer")}
+_CLASSES = {c.label: c for c in SizeClass}
+
+
+class _Reporter:
+    def __init__(self, out_path: Optional[str]) -> None:
+        self.out_path = out_path
+        self.lines: List[str] = []
+
+    def emit(self, text: str = "") -> None:
+        print(text)
+        sys.stdout.flush()
+        self.lines.append(text)
+
+    def close(self) -> None:
+        if self.out_path:
+            with open(self.out_path, "w") as fh:
+                fh.write("\n".join(self.lines) + "\n")
+            print(f"report written to {self.out_path}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None)
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    reporter = _Reporter(args.out)
+    points = run_calibration_sweep(
+        tuple(args.levels), duration=args.duration, seed=args.seed
+    )
+    reporter.emit("Fig. 3 — max queue depth & RTT vs utilization")
+    reporter.emit(render_calibration(points))
+    reporter.close()
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    reporter = _Reporter(args.out)
+    base, measure = FIGURES[args.figure]
+    config = replace(base, scale=SCALES[args.scale], seed=args.seed)
+    classes = tuple(_CLASSES[c] for c in args.classes)
+    comparison = run_comparison(
+        config,
+        size_classes=classes,
+        policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
+    )
+    reporter.emit(f"{args.figure} — policy comparison ({measure} time)")
+    reporter.emit(render_comparison(comparison, measure=measure))
+    reporter.close()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    reporter = _Reporter(args.out)
+    sweeps = [
+        run_probing_sweep(name, intervals=tuple(args.intervals), seed=args.seed)
+        for name in args.scenarios
+    ]
+    reporter.emit("Fig. 9 — probing interval vs mean transfer time")
+    reporter.emit(render_probing_sweep(sweeps))
+    reporter.close()
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.experiments.sensitivity import sweep_k, sweep_probing_parameter
+
+    reporter = _Reporter(args.out)
+    base = replace(
+        ExperimentConfig(workload="serverless", metric="delay",
+                         size_class=_CLASSES[args.size_class]),
+        scale=SCALES[args.scale], seed=args.seed,
+    )
+    if args.parameter == "k":
+        result = sweep_k(values=tuple(args.values), base_config=base)
+    else:
+        result = sweep_probing_parameter(
+            args.parameter, tuple(args.values), base_config=base
+        )
+    reporter.emit(f"sensitivity of gain-vs-nearest to {args.parameter}")
+    for value, gain in result.series():
+        reporter.emit(f"  {args.parameter} = {value:g}: gain {gain:+.1f}%")
+    reporter.emit(f"best value: {result.best_value():g}")
+    reporter.close()
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    reporter = _Reporter(args.out)
+    scale = SCALES[args.scale]
+    classes = tuple(SizeClass) if args.scale != "smoke" else (SizeClass.VS, SizeClass.S)
+    calib_duration = {"smoke": 20.0, "quick": 30.0, "full": 300.0}[args.scale]
+    intervals = (0.1, 30.0) if args.scale == "smoke" else DEFAULT_INTERVALS
+    started = time.time()
+
+    reporter.emit(f"# Reproduction report (scale={args.scale}, seed={args.seed})")
+    reporter.emit("\n## Fig. 3 — max queue depth & RTT vs utilization")
+    points = run_calibration_sweep(
+        (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
+        duration=calib_duration, seed=args.seed,
+    )
+    reporter.emit(render_calibration(points))
+
+    comparisons = {}
+    for name, (base, measure) in FIGURES.items():
+        reporter.emit(f"\n## {name} ({base.workload}, {base.metric} ranking, {measure} time)")
+        comparison = run_comparison(
+            replace(base, scale=scale, seed=args.seed),
+            size_classes=classes,
+            policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
+        )
+        comparisons[name] = comparison
+        reporter.emit(render_comparison(comparison, measure=measure))
+
+    reporter.emit("\n## fig8 (ECDF of per-task completion gain vs nearest)")
+    sc = SizeClass.S if SizeClass.S in classes else classes[0]
+    gains = paired_gains(
+        comparisons["fig7"].result(sc, POLICY_AWARE),
+        comparisons["fig7"].result(sc, POLICY_NEAREST),
+    )
+    reporter.emit(render_ecdf_points(gains))
+    reporter.emit(
+        f"zero-or-negative gain: {100*(1-fraction_above(gains, 0.0)):.0f}% of tasks"
+    )
+
+    reporter.emit("\n## fig9 (probing interval sweep)")
+    sweeps = [
+        run_probing_sweep(name, intervals=intervals, seed=args.seed)
+        for name in ("traffic1", "traffic2")
+    ]
+    reporter.emit(render_probing_sweep(sweeps))
+    reporter.emit(f"\nwall-clock: {time.time() - started:.0f}s")
+    reporter.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("calibrate", help="Fig. 3 utilization sweep")
+    p.add_argument("--levels", type=float, nargs="+",
+                   default=[0.0, 0.25, 0.5, 0.75, 0.9, 1.0])
+    p.add_argument("--duration", type=float, default=30.0)
+    _add_common(p)
+    p.set_defaults(fn=cmd_calibrate)
+
+    p = sub.add_parser("compare", help="Figs. 5/6/7 policy comparison")
+    p.add_argument("--figure", choices=sorted(FIGURES), default="fig5")
+    p.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    p.add_argument("--classes", nargs="+", choices=sorted(_CLASSES), default=["VS", "S"])
+    _add_common(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("sweep", help="Fig. 9 probing-interval sweep")
+    p.add_argument("--scenarios", nargs="+", choices=["traffic1", "traffic2"],
+                   default=["traffic2"])
+    p.add_argument("--intervals", type=float, nargs="+", default=[0.1, 10.0, 30.0])
+    _add_common(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("sensitivity", help="parameter sweep vs the nearest baseline")
+    p.add_argument("--parameter", default="k",
+                   help="ExperimentConfig field to sweep (default: k)")
+    p.add_argument("--values", type=float, nargs="+", default=[0.0, 0.02, 0.08])
+    p.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    p.add_argument("--size-class", dest="size_class", choices=sorted(_CLASSES), default="S")
+    _add_common(p)
+    p.set_defaults(fn=cmd_sensitivity)
+
+    p = sub.add_parser("reproduce", help="regenerate every figure")
+    p.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    _add_common(p)
+    p.set_defaults(fn=cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

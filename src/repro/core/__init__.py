@@ -1,0 +1,36 @@
+"""The paper's contribution: INT-driven network-aware task scheduling.
+
+Pipeline (Fig. 1): probe reports from :mod:`repro.telemetry` feed a
+:class:`~repro.core.telemetry_store.TelemetryStore`, which maintains the
+inferred topology (Section III-B) plus per-link delay and per-port max-queue
+statistics.  :mod:`repro.core.estimators` turns those into end-to-end delay
+(Section III-C, ``k * max_qdepth`` hop-latency model) and bottleneck
+available-bandwidth estimates (Section III-D).  :mod:`repro.core.ranking`
+implements Algorithm 1 and its bandwidth twin, and
+:class:`~repro.core.scheduler.NetworkAwareScheduler` serves ranked edge-server
+lists to edge devices over the simulated network.  Baselines (*Nearest*,
+*Random*) speak the same query protocol.
+"""
+
+from repro.core.baselines import NearestScheduler, RandomScheduler
+from repro.core.client import SchedulerClient
+from repro.core.estimators import DelayEstimator, BandwidthEstimator, QdepthUtilizationCurve
+from repro.core.ranking import rank_by_bandwidth, rank_by_delay
+from repro.core.scheduler import NetworkAwareScheduler, SchedulerService
+from repro.core.telemetry_store import TelemetryStore
+from repro.core.topology_inference import InferredTopology
+
+__all__ = [
+    "NearestScheduler",
+    "RandomScheduler",
+    "SchedulerClient",
+    "DelayEstimator",
+    "BandwidthEstimator",
+    "QdepthUtilizationCurve",
+    "rank_by_bandwidth",
+    "rank_by_delay",
+    "NetworkAwareScheduler",
+    "SchedulerService",
+    "TelemetryStore",
+    "InferredTopology",
+]

@@ -1,0 +1,82 @@
+"""Baseline scheduling policies from Section IV: *Nearest* and *Random*.
+
+Both speak the same query protocol as the network-aware scheduler so the
+edge-device code is identical across policies.
+
+*Nearest* ranks by static hop distance, "calculated ahead of time" per the
+paper — it receives the ground-truth topology at construction and never
+looks at telemetry.  *Random* shuffles the candidate list per query to
+spread load blindly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.core.scheduler import SchedulerService
+from repro.simnet.host import Host
+from repro.simnet.topology import Network
+
+__all__ = ["NearestScheduler", "RandomScheduler"]
+
+
+class NearestScheduler(SchedulerService):
+    """Rank by precomputed switch-hop distance (ties: node name order)."""
+
+    def __init__(
+        self,
+        host: Host,
+        server_addrs: Sequence[int],
+        network: Network,
+        **kwargs,
+    ) -> None:
+        super().__init__(host, server_addrs, **kwargs)
+        self._hops: Dict[Tuple[int, int], int] = {}
+        # Precompute pairwise switch-hop counts between all hosts once.
+        host_names = list(network.hosts)
+        for a in host_names:
+            for b in host_names:
+                if a == b:
+                    continue
+                path = network.shortest_path(a, b)
+                addr_a = network.address_of(a)
+                addr_b = network.address_of(b)
+                self._hops[(addr_a, addr_b)] = len(path) - 2  # exclude endpoints
+
+    def hop_distance(self, src_addr: int, dst_addr: int) -> int:
+        try:
+            return self._hops[(src_addr, dst_addr)]
+        except KeyError:
+            raise SchedulingError(
+                f"no precomputed distance between {src_addr} and {dst_addr}"
+            ) from None
+
+    def rank(self, requester_addr: int, metric: str) -> List[Tuple[int, float]]:
+        ranked = [
+            (addr, float(self.hop_distance(requester_addr, addr)))
+            for addr in self.candidates_for(requester_addr)
+        ]
+        ranked.sort(key=lambda item: (item[1], item[0]))
+        return ranked
+
+
+class RandomScheduler(SchedulerService):
+    """Uniformly random ranking — the load-balancing strawman."""
+
+    def __init__(
+        self,
+        host: Host,
+        server_addrs: Sequence[int],
+        rng: np.random.Generator,
+        **kwargs,
+    ) -> None:
+        super().__init__(host, server_addrs, **kwargs)
+        self._rng = rng
+
+    def rank(self, requester_addr: int, metric: str) -> List[Tuple[int, float]]:
+        candidates = self.candidates_for(requester_addr)
+        order = self._rng.permutation(len(candidates))
+        return [(candidates[i], float(pos)) for pos, i in enumerate(order)]

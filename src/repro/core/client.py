@@ -1,0 +1,109 @@
+"""Client side of the scheduler protocol, used by edge devices.
+
+One :class:`SchedulerClient` per host multiplexes any number of concurrent
+queries over a single ephemeral port, correlating responses by request id.
+Queries are retried on timeout (the query/response datagrams traverse the
+congested network like everything else and can be dropped)."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.simnet.addressing import PORT_SCHEDULER, PROTO_UDP
+from repro.simnet.engine import EventHandle
+from repro.simnet.host import Host
+from repro.simnet.packet import HEADER_OVERHEAD, Packet
+
+__all__ = ["SchedulerClient"]
+
+Ranking = List[Tuple[int, float]]
+RankingCallback = Callable[[Ranking], None]
+
+DEFAULT_TIMEOUT = 1.0
+DEFAULT_RETRIES = 10
+BACKOFF_FACTOR = 1.5   # timeout grows per retry; heavy congestion needs patience
+MAX_TIMEOUT = 6.0
+_QUERY_SIZE = HEADER_OVERHEAD + 16
+
+_request_ids = itertools.count(1)
+
+
+class SchedulerClient:
+    """Query the scheduling service and deliver ranked server lists."""
+
+    def __init__(self, host: Host, scheduler_addr: int) -> None:
+        self.host = host
+        self.scheduler_addr = scheduler_addr
+        self.src_port = host.ephemeral_port()
+        self._pending: Dict[int, Tuple[RankingCallback, str, int, Optional[EventHandle]]] = {}
+        self.queries_sent = 0
+        self.responses_received = 0
+        self.retries = 0
+        self.failures = 0
+        host.bind(PROTO_UDP, self.src_port, self._on_response)
+
+    def query(
+        self,
+        metric: str,
+        callback: RankingCallback,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        retries: int = DEFAULT_RETRIES,
+    ) -> int:
+        """Request a ranking; ``callback(ranking)`` fires on the response.
+
+        Returns the request id.  After ``retries`` unanswered attempts the
+        query is abandoned and the callback receives an empty ranking, which
+        callers treat as "scheduling failed"."""
+        request_id = next(_request_ids)
+        self._pending[request_id] = (callback, metric, retries, None)
+        self._send(request_id, metric, timeout)
+        return request_id
+
+    def _send(self, request_id: int, metric: str, timeout: float) -> None:
+        entry = self._pending.get(request_id)
+        if entry is None:
+            return
+        callback, _metric, retries_left, _old_timer = entry
+        packet = self.host.new_packet(
+            self.scheduler_addr,
+            protocol=PROTO_UDP,
+            src_port=self.src_port,
+            dst_port=PORT_SCHEDULER,
+            size_bytes=_QUERY_SIZE,
+            message=("sched_query", request_id, metric),
+        )
+        self.queries_sent += 1
+        timer = self.host.sim.schedule(timeout, self._on_timeout, request_id, timeout)
+        self._pending[request_id] = (callback, metric, retries_left, timer)
+        self.host.send(packet)
+
+    def _on_timeout(self, request_id: int, timeout: float) -> None:
+        entry = self._pending.get(request_id)
+        if entry is None:
+            return
+        callback, metric, retries_left, _timer = entry
+        if retries_left <= 0:
+            del self._pending[request_id]
+            self.failures += 1
+            callback([])
+            return
+        self.retries += 1
+        self._pending[request_id] = (callback, metric, retries_left - 1, None)
+        self._send(request_id, metric, min(MAX_TIMEOUT, timeout * BACKOFF_FACTOR))
+
+    def _on_response(self, packet: Packet) -> None:
+        msg = packet.message
+        if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == "sched_response"):
+            return
+        _tag, request_id, ranking = msg
+        entry = self._pending.pop(request_id, None)
+        if entry is None:
+            return  # duplicate response after a retry already answered
+        callback, _metric, _retries, timer = entry
+        if timer is not None and not timer.fired:
+            self.host.sim.cancel(timer)
+        self.responses_received += 1
+        callback(list(ranking))

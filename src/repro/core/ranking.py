@@ -1,0 +1,71 @@
+"""Edge-server ranking — Algorithm 1 and its bandwidth-based twin.
+
+Both functions return the *full* candidate list with the estimated metric,
+matching the paper's first scheduler mode (sorted list; edge devices take the
+head) while also enabling the second mode (devices apply their own policy to
+the returned values).
+
+Candidates absent from the inferred topology — or with no known directed
+path — are ranked last with an infinite/zero metric rather than dropped:
+a scheduler that silently hides servers it has not yet heard about would
+starve them forever at startup.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.estimators import BandwidthEstimator, DelayEstimator
+from repro.telemetry.records import TelemetryNodeId
+
+__all__ = ["rank_by_delay", "rank_by_bandwidth", "RankedServer"]
+
+RankedServer = Tuple[TelemetryNodeId, float]
+
+
+def rank_by_delay(
+    estimator: DelayEstimator,
+    origin: TelemetryNodeId,
+    candidates: Optional[Sequence[TelemetryNodeId]] = None,
+) -> List[RankedServer]:
+    """Algorithm 1: edge nodes sorted by estimated one-way delay from
+    ``origin`` (ascending; ties broken by node id for determinism)."""
+    store = estimator.store
+    if candidates is None:
+        candidates = store.topology.reachable_hosts(origin)
+    ranked: List[RankedServer] = []
+    for node in candidates:
+        if node == origin:
+            continue
+        try:
+            delay = estimator.delay_between(origin, node)
+        except SchedulingError:
+            delay = math.inf
+        ranked.append((node, delay))
+    ranked.sort(key=lambda item: (item[1], item[0]))
+    return ranked
+
+
+def rank_by_bandwidth(
+    estimator: BandwidthEstimator,
+    origin: TelemetryNodeId,
+    candidates: Optional[Sequence[TelemetryNodeId]] = None,
+) -> List[RankedServer]:
+    """Section III-D: edge nodes sorted by estimated bottleneck available
+    bandwidth from ``origin`` (descending; ties broken by node id)."""
+    store = estimator.store
+    if candidates is None:
+        candidates = store.topology.reachable_hosts(origin)
+    ranked: List[RankedServer] = []
+    for node in candidates:
+        if node == origin:
+            continue
+        try:
+            bw = estimator.throughput_between(origin, node)
+        except SchedulingError:
+            bw = 0.0
+        ranked.append((node, bw))
+    ranked.sort(key=lambda item: (-item[1], item[0]))
+    return ranked

@@ -1,0 +1,173 @@
+"""Scheduler services: the query/response protocol and the network-aware
+scheduler (Fig. 1, steps 2-5).
+
+Edge devices send a query datagram to the scheduler node and receive the
+ranked list of candidate edge servers with the estimated metric (delay in
+seconds or available bandwidth in bit/s).  The protocol is deliberately
+identical across the network-aware scheduler and the baselines so the edge
+device code is policy-agnostic — only the node running the service changes.
+
+Wire messages (Python objects riding :attr:`Packet.message`):
+
+* query:    ``("sched_query", request_id, metric)``
+* response: ``("sched_response", request_id, ((server_addr, value), ...))``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.estimators import (
+    BandwidthEstimator,
+    DelayEstimator,
+    QdepthUtilizationCurve,
+)
+from repro.core.ranking import rank_by_bandwidth, rank_by_delay
+from repro.core.telemetry_store import TelemetryStore
+from repro.simnet.addressing import PORT_SCHEDULER, PROTO_UDP
+from repro.simnet.host import Host
+from repro.simnet.packet import HEADER_OVERHEAD, Packet
+from repro.telemetry.collector import IntCollector
+from repro.telemetry.records import host_node
+
+__all__ = [
+    "SchedulerService",
+    "NetworkAwareScheduler",
+    "METRIC_DELAY",
+    "METRIC_BANDWIDTH",
+    "METRIC_RAW",
+]
+
+METRIC_DELAY = "delay"
+METRIC_BANDWIDTH = "bandwidth"
+# Section III-B's second mode: "the scheduler can respond back with
+# (unsorted) list of all edge devices along with their bandwidth and latency
+# information to let edge devices implement a custom selection algorithm."
+METRIC_RAW = "raw"
+
+# Per-query service time at the scheduler (decode + rank + encode).
+DEFAULT_PROCESSING_DELAY = 0.5e-3
+# Response size grows with the candidate list: address + float value.
+_BYTES_PER_RANK_ENTRY = 12
+
+
+class SchedulerService:
+    """Protocol plumbing shared by every scheduling policy.
+
+    Subclasses implement :meth:`rank` returning ``[(server_addr, value),
+    ...]`` best-first for the given requester and metric.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        server_addrs: Sequence[int],
+        *,
+        processing_delay: float = DEFAULT_PROCESSING_DELAY,
+    ) -> None:
+        if not server_addrs:
+            raise SchedulingError("scheduler needs at least one edge server")
+        self.host = host
+        self.server_addrs = list(server_addrs)
+        self.processing_delay = processing_delay
+        self.queries_served = 0
+        host.bind(PROTO_UDP, PORT_SCHEDULER, self._on_query)
+
+    # -- protocol ------------------------------------------------------------
+
+    def _on_query(self, packet: Packet) -> None:
+        msg = packet.message
+        if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == "sched_query"):
+            return
+        _tag, request_id, metric = msg
+        self.host.sim.schedule(
+            self.processing_delay,
+            self._respond,
+            packet.src_addr,
+            packet.src_port,
+            request_id,
+            metric,
+        )
+
+    def _respond(
+        self, requester_addr: int, requester_port: int, request_id: int, metric: str
+    ) -> None:
+        ranking = self.rank(requester_addr, metric)
+        self.queries_served += 1
+        response = self.host.new_packet(
+            requester_addr,
+            protocol=PROTO_UDP,
+            src_port=PORT_SCHEDULER,
+            dst_port=requester_port,
+            size_bytes=HEADER_OVERHEAD + _BYTES_PER_RANK_ENTRY * max(1, len(ranking)),
+            message=("sched_response", request_id, tuple(ranking)),
+        )
+        self.host.send(response)
+
+    # -- policy (override) ------------------------------------------------------
+
+    def candidates_for(self, requester_addr: int) -> List[int]:
+        """Every registered edge server except the requester itself (a node
+        never executes its own offloaded task, Section IV)."""
+        return [a for a in self.server_addrs if a != requester_addr]
+
+    def rank(self, requester_addr: int, metric: str) -> List[Tuple[int, float]]:
+        raise NotImplementedError
+
+
+class NetworkAwareScheduler(SchedulerService):
+    """The paper's INT-driven scheduler.
+
+    Owns the collector -> telemetry-store -> estimator pipeline and ranks by
+    Algorithm 1 (delay metric) or bottleneck available bandwidth.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        server_addrs: Sequence[int],
+        *,
+        link_capacity_bps: float,
+        k: float = 0.020,
+        default_link_delay: float = 0.010,
+        qdepth_floor: int = 3,
+        curve: Optional[QdepthUtilizationCurve] = None,
+        staleness: float = 2.0,
+        processing_delay: float = DEFAULT_PROCESSING_DELAY,
+    ) -> None:
+        super().__init__(host, server_addrs, processing_delay=processing_delay)
+        self.collector = IntCollector(host)
+        self.store = TelemetryStore(host.sim, staleness=staleness)
+        self.collector.subscribe(self.store.update)
+        self.delay_estimator = DelayEstimator(
+            self.store, k=k, default_link_delay=default_link_delay,
+            qdepth_floor=qdepth_floor,
+        )
+        self.bandwidth_estimator = BandwidthEstimator(
+            self.store, link_capacity_bps=link_capacity_bps, curve=curve
+        )
+
+    def rank(self, requester_addr: int, metric: str) -> List[Tuple[int, float]]:
+        origin = host_node(requester_addr)
+        candidates = [host_node(a) for a in self.candidates_for(requester_addr)]
+        if metric == METRIC_DELAY:
+            ranked = rank_by_delay(self.delay_estimator, origin, candidates)
+        elif metric == METRIC_BANDWIDTH:
+            ranked = rank_by_bandwidth(self.bandwidth_estimator, origin, candidates)
+        elif metric == METRIC_RAW:
+            return self._rank_raw(origin, candidates)
+        else:
+            raise SchedulingError(f"unknown ranking metric {metric!r}")
+        return [(node[1], value) for node, value in ranked]
+
+    def _rank_raw(self, origin, candidates) -> List[Tuple[int, Tuple[float, float]]]:
+        """Both estimates per candidate, in address order (unsorted — the
+        device applies its own policy)."""
+        delays = dict(rank_by_delay(self.delay_estimator, origin, candidates))
+        bandwidths = dict(rank_by_bandwidth(self.bandwidth_estimator, origin, candidates))
+        return [
+            (node[1], (delays[node], bandwidths[node]))
+            for node in sorted(candidates)
+            if node != origin
+        ]

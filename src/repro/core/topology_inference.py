@@ -1,0 +1,123 @@
+"""Topology inference from INT record ordering (Section III-B).
+
+"The scheduler dynamically builds the network topology using telemetry data
+reported via probe packets.  Specifically, it learns which network devices
+are connected to each other by checking the order of INT data in probe
+packets."
+
+The inferred topology is a *directed* graph over
+:data:`~repro.telemetry.records.TelemetryNodeId` values: an edge (u, v)
+means a probe was observed flowing u -> v, and the telemetry attached to the
+edge (queue depth of u's egress toward v, latency of the u->v link) is
+specific to that direction.
+
+Path selection on the inferred graph uses minimum hop count with
+lexicographic tie-breaking over node ids.  The simulated control plane
+breaks routing ties lexicographically over node *names*, and the standard
+topologies name switches in id order (``s01`` .. ``s12``), so the
+scheduler's idea of "the path data will take" agrees with the installed
+routes — the working assumption the paper makes implicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import SchedulingError
+from repro.telemetry.records import TelemetryNodeId
+
+__all__ = ["InferredTopology"]
+
+
+class InferredTopology:
+    """Incrementally learned directed network map."""
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+
+    # -- learning ----------------------------------------------------------
+
+    def observe_path(self, nodes: Sequence[TelemetryNodeId]) -> None:
+        """Record that a probe traversed ``nodes`` in order."""
+        for node in nodes:
+            if node not in self._g:
+                self._g.add_node(node)
+        for u, v in zip(nodes, nodes[1:]):
+            if not self._g.has_edge(u, v):
+                self._g.add_edge(u, v)
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        return self._g
+
+    def known_nodes(self) -> Set[TelemetryNodeId]:
+        return set(self._g.nodes)
+
+    def known_hosts(self) -> Set[TelemetryNodeId]:
+        return {n for n in self._g.nodes if n[0] == "host"}
+
+    def known_switches(self) -> Set[TelemetryNodeId]:
+        return {n for n in self._g.nodes if n[0] == "sw"}
+
+    def has_node(self, node: TelemetryNodeId) -> bool:
+        return node in self._g
+
+    def has_edge(self, u: TelemetryNodeId, v: TelemetryNodeId) -> bool:
+        return self._g.has_edge(u, v)
+
+    def path(self, src: TelemetryNodeId, dst: TelemetryNodeId) -> List[TelemetryNodeId]:
+        """Min-hop directed path with lexicographic tie-breaking, never
+        transiting a host (hosts are endpoints only).
+
+        Raises :class:`SchedulingError` when either endpoint is unknown or
+        unreachable — the caller decides how to rank unreachable servers.
+        """
+        if src not in self._g:
+            raise SchedulingError(f"node {src} not yet in inferred topology")
+        if dst not in self._g:
+            raise SchedulingError(f"node {dst} not yet in inferred topology")
+        if src == dst:
+            return [src]
+        best: Dict[TelemetryNodeId, Tuple[int, tuple]] = {}
+        heap: List[Tuple[Tuple[int, tuple], TelemetryNodeId]] = [((0, (src,)), src)]
+        while heap:
+            (hops, path), u = heapq.heappop(heap)
+            if u in best:
+                continue
+            best[u] = (hops, path)
+            if u == dst:
+                return list(path)
+            for v in sorted(self._g.successors(u)):
+                if v in best:
+                    continue
+                if v[0] == "host" and v != dst:
+                    continue  # hosts never forward
+                heapq.heappush(heap, ((hops + 1, path + (v,)), v))
+        raise SchedulingError(f"no inferred path from {src} to {dst}")
+
+    def reachable_hosts(self, src: TelemetryNodeId) -> List[TelemetryNodeId]:
+        """Edge nodes reachable from ``src`` — Algorithm 1's ``E(G, e_n)``."""
+        out = []
+        for host in sorted(self.known_hosts()):
+            if host == src:
+                continue
+            try:
+                self.path(src, host)
+            except SchedulingError:
+                continue
+            out.append(host)
+        return out
+
+    def edge_count(self) -> int:
+        return self._g.number_of_edges()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<InferredTopology hosts={len(self.known_hosts())} "
+            f"switches={len(self.known_switches())} edges={self.edge_count()}>"
+        )

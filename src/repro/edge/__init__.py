@@ -1,0 +1,32 @@
+"""Edge-computing workload layer.
+
+Models the paper's Section IV experiments: edge devices that query the
+scheduler and offload tasks, edge servers that receive data and execute,
+workload generators (serverless = 1 task/job, distributed = 3 tasks/job)
+with Table I size classes, and iperf-style background congestion scenarios.
+"""
+
+from repro.edge.task import SizeClass, Task, Job, TABLE_I, sample_task
+from repro.edge.server import EdgeServer
+from repro.edge.device import EdgeDevice
+from repro.edge.metrics import MetricsCollector, TaskRecord
+from repro.edge.workload import WorkloadSpec, WorkloadGenerator, WORKLOAD_SERVERLESS, WORKLOAD_DISTRIBUTED
+from repro.edge.background import BackgroundTraffic, TrafficScenario
+
+__all__ = [
+    "SizeClass",
+    "Task",
+    "Job",
+    "TABLE_I",
+    "sample_task",
+    "EdgeServer",
+    "EdgeDevice",
+    "MetricsCollector",
+    "TaskRecord",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "WORKLOAD_SERVERLESS",
+    "WORKLOAD_DISTRIBUTED",
+    "BackgroundTraffic",
+    "TrafficScenario",
+]

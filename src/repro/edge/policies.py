@@ -1,0 +1,79 @@
+"""Device-side server-selection policies.
+
+The paper's first scheduler mode returns a sorted list and devices "select
+the edge server at the top"; its second mode returns raw (delay, bandwidth)
+pairs "to let edge devices implement a custom selection algorithm"
+(Section III-B).  A policy is a callable ``(job, ranking) -> [server_addr
+per task]``; :class:`~repro.edge.device.EdgeDevice` accepts one via
+``selection_policy``.
+
+Policies for sorted rankings (values are floats):
+
+* :func:`top_k` — the paper's default: the best *k* distinct servers.
+
+Policies for raw rankings (values are ``(delay_seconds, bandwidth_bps)``):
+
+* :func:`min_completion_time` — per task, estimate ``delay + data/bandwidth``
+  and greedily assign the best distinct server to the largest task first.
+  This uses both metrics at once, something neither of the paper's sorted
+  modes can do, and is evaluated in the selection-policy ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.edge.task import Job
+from repro.errors import SchedulingError
+
+__all__ = ["top_k", "min_completion_time", "SelectionPolicy"]
+
+Ranking = List[Tuple[int, object]]
+SelectionPolicy = "Callable[[Job, Ranking], List[int]]"
+
+
+def top_k(job: Job, ranking: Ranking) -> List[int]:
+    """Best-first assignment: task *i* goes to ranking entry *i*, wrapping
+    round-robin when the job has more tasks than candidates."""
+    if not ranking:
+        raise SchedulingError("empty ranking")
+    addrs = [addr for addr, _value in ranking]
+    return [addrs[i % len(addrs)] for i in range(len(job.tasks))]
+
+
+def min_completion_time(job: Job, ranking: Ranking) -> List[int]:
+    """Greedy estimated-finish-time assignment over a *raw* ranking.
+
+    For each (task, server) pair the estimated network cost is
+    ``delay + task_bytes * 8 / bandwidth``; tasks are assigned largest-first
+    so the biggest transfer gets the best pipe, each server used at most
+    once until the pool is exhausted."""
+    if not ranking:
+        raise SchedulingError("empty ranking")
+    for _addr, value in ranking:
+        if not (isinstance(value, tuple) and len(value) == 2):
+            raise SchedulingError(
+                "min_completion_time needs a raw ranking (delay, bandwidth); "
+                "query the scheduler with metric='raw'"
+            )
+
+    order = sorted(
+        range(len(job.tasks)), key=lambda i: -job.tasks[i].data_bytes
+    )
+    available = list(ranking)
+    assignment: List[int] = [0] * len(job.tasks)
+    for task_index in order:
+        task = job.tasks[task_index]
+        if not available:
+            available = list(ranking)  # pool exhausted: reuse
+        best_pos = 0
+        best_cost = float("inf")
+        for pos, (_addr, (delay, bandwidth)) in enumerate(available):
+            transfer = (task.data_bytes * 8.0 / bandwidth) if bandwidth > 0 else float("inf")
+            cost = delay + transfer
+            if cost < best_cost:
+                best_cost = cost
+                best_pos = pos
+        addr, _value = available.pop(best_pos)
+        assignment[task_index] = addr
+    return assignment

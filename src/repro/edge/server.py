@@ -1,0 +1,162 @@
+"""Edge servers: receive task data, execute, return results (Fig. 1, step 6).
+
+The base experiments follow the paper in treating compute as uncontended —
+tasks run for exactly their nominal execution time regardless of what else
+the server is doing (the paper's evaluation isolates *network* effects; the
+compute-aware scheduler is future work).  Setting ``max_concurrent`` turns
+on a FIFO run queue, which the compute-aware extension builds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set
+
+from repro.errors import WorkloadError
+from repro.simnet.addressing import PORT_TASK, PROTO_UDP
+from repro.simnet.engine import PeriodicTimer
+from repro.simnet.flows import TransferSinkApp, _ReassemblyState
+from repro.simnet.host import Host
+from repro.simnet.packet import HEADER_OVERHEAD, MTU
+
+__all__ = ["EdgeServer", "DEFAULT_RESULT_SIZE"]
+
+DEFAULT_RESULT_SIZE = 1000  # bytes: a small result message (e.g. a FaaS reply)
+PORT_LOAD_REPORT = 5003
+
+
+class EdgeServer:
+    """Task execution endpoint on one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        *,
+        port: int = PORT_TASK,
+        max_concurrent: Optional[int] = None,
+        capabilities: Optional[Set[str]] = None,
+        result_size: int = DEFAULT_RESULT_SIZE,
+        load_report_addr: Optional[int] = None,
+        load_report_interval: float = 1.0,
+    ) -> None:
+        if max_concurrent is not None and max_concurrent < 1:
+            raise WorkloadError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if result_size > MTU:
+            raise WorkloadError(f"result_size {result_size} exceeds the {MTU}B MTU")
+        self.host = host
+        self.port = port
+        self.max_concurrent = max_concurrent
+        self.capabilities = set(capabilities or ())
+        self.result_size = max(HEADER_OVERHEAD, result_size)
+        self.sink = TransferSinkApp(host, port, on_flow_complete=self._on_task_data)
+        self.running = 0
+        self.queued: Deque[dict] = deque()
+        self.tasks_received = 0
+        self.tasks_completed = 0
+        self.tasks_rejected = 0
+        self.busy_time = 0.0
+        # Result datagrams are retransmitted until the device acknowledges —
+        # a lost result must not strand the task.
+        self._unacked_results: Dict[int, dict] = {}
+        self.result_retransmissions = 0
+        host.bind(PROTO_UDP, port, self._on_result_ack)
+
+        self._load_report_addr = load_report_addr
+        self._load_timer: Optional[PeriodicTimer] = None
+        if load_report_addr is not None:
+            self._load_timer = PeriodicTimer(
+                host.sim, load_report_interval, self._send_load_report
+            )
+            self._load_timer.start()
+
+    # -- data arrival --------------------------------------------------------
+
+    def _on_task_data(self, state: _ReassemblyState) -> None:
+        meta = state.metadata
+        required = {"task_id", "exec_time", "reply_addr", "reply_port"}
+        if not required.issubset(meta):
+            return  # not a task upload (some other user of the port)
+        requirements = meta.get("requirements", frozenset())
+        if requirements and not set(requirements).issubset(self.capabilities):
+            # Heterogeneity extension: this server cannot run the task.
+            self.tasks_rejected += 1
+            self._send_result(meta, ok=False)
+            return
+        self.tasks_received += 1
+        if self.max_concurrent is not None and self.running >= self.max_concurrent:
+            self.queued.append(meta)
+            return
+        self._start_execution(meta)
+
+    # -- execution ----------------------------------------------------------
+
+    def _start_execution(self, meta: dict) -> None:
+        self.running += 1
+        exec_time = float(meta["exec_time"])
+        self.busy_time += exec_time
+        self.host.sim.schedule(exec_time, self._finish_execution, meta)
+
+    def _finish_execution(self, meta: dict) -> None:
+        self.running -= 1
+        self.tasks_completed += 1
+        self._send_result(meta, ok=True)
+        if self.queued and (self.max_concurrent is None or self.running < self.max_concurrent):
+            self._start_execution(self.queued.popleft())
+
+    def _send_result(self, meta: dict, *, ok: bool) -> None:
+        task_id = int(meta["task_id"])
+        self._unacked_results[task_id] = meta
+        self._transmit_result(meta, ok, attempt=0)
+
+    # Retransmission schedule: 1 s backoff doubling, capped; gives up after
+    # RESULT_MAX_ATTEMPTS (the device is presumed gone).
+    RESULT_MAX_ATTEMPTS = 12
+
+    def _transmit_result(self, meta: dict, ok: bool, attempt: int) -> None:
+        task_id = int(meta["task_id"])
+        if task_id not in self._unacked_results:
+            return  # acknowledged in the meantime
+        if attempt >= self.RESULT_MAX_ATTEMPTS:
+            del self._unacked_results[task_id]
+            return
+        if attempt > 0:
+            self.result_retransmissions += 1
+        result = self.host.new_packet(
+            int(meta["reply_addr"]),
+            protocol=PROTO_UDP,
+            src_port=self.port,
+            dst_port=int(meta["reply_port"]),
+            size_bytes=self.result_size,
+            message=("task_result", task_id, ok, self.host.addr),
+        )
+        self.host.send(result)
+        backoff = min(8.0, 1.0 * (2 ** attempt))
+        self.host.sim.schedule(backoff, self._transmit_result, meta, ok, attempt + 1)
+
+    def _on_result_ack(self, packet) -> None:
+        msg = packet.message
+        if isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "result_ack":
+            self._unacked_results.pop(int(msg[1]), None)
+
+    # -- load reporting (compute-aware extension) ------------------------------
+
+    @property
+    def load(self) -> int:
+        """Outstanding work: running + queued tasks."""
+        return self.running + len(self.queued)
+
+    def _send_load_report(self) -> None:
+        assert self._load_report_addr is not None
+        packet = self.host.new_packet(
+            self._load_report_addr,
+            protocol=PROTO_UDP,
+            src_port=self.port,
+            dst_port=PORT_LOAD_REPORT,
+            size_bytes=HEADER_OVERHEAD + 8,
+            message=("load_report", self.host.addr, self.running, len(self.queued)),
+        )
+        self.host.send(packet)
+
+    def stop(self) -> None:
+        if self._load_timer is not None:
+            self._load_timer.stop()

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the reproduction library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while still
+being able to distinguish simulator, data-plane, telemetry, and scheduling
+failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly.
+
+    Examples: scheduling an event in the past, running a finished simulator,
+    or cancelling an event twice.
+    """
+
+
+class TopologyError(ReproError):
+    """Invalid network construction (duplicate names, unknown nodes,
+    self-links, disconnected graphs where connectivity is required)."""
+
+
+class RoutingError(ReproError):
+    """No route exists between two nodes, or a forwarding table lookup
+    failed at runtime."""
+
+
+class PacketError(ReproError):
+    """Malformed packet: bad header encode/decode, truncated INT stack,
+    or a payload that does not match its declared length."""
+
+
+class DataPlaneError(ReproError):
+    """A P4-style pipeline misbehaved: unknown table, register index out of
+    range, or a program raised during packet processing."""
+
+
+class TelemetryError(ReproError):
+    """Probe/collector protocol violation, e.g. an undecodable probe payload
+    or an INT stack claiming more hops than the payload carries."""
+
+
+class SchedulingError(ReproError):
+    """Scheduler-level failure: no eligible edge server, unknown requester,
+    or a query for a node absent from the inferred topology."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (empty size class, negative sizes,
+    malformed scenario definitions)."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misconfiguration or an experiment invariant that
+    failed (e.g. mismatched task counts between compared policies)."""

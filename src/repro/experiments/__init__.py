@@ -1,0 +1,72 @@
+"""Reproduction harnesses for every table and figure in the paper.
+
+===========  =====================================================  =========================
+Artifact     What it shows                                          Module
+===========  =====================================================  =========================
+Fig. 3       max queue depth & RTT vs egress utilization            :mod:`repro.experiments.calibration`
+Table I      workload size classes                                  :mod:`repro.edge.task`
+Fig. 5       serverless workload, delay ranking vs baselines        :mod:`repro.experiments.comparison`
+Fig. 6       distributed workload, delay ranking vs baselines       :mod:`repro.experiments.comparison`
+Fig. 7       distributed workload, bandwidth ranking transfer time  :mod:`repro.experiments.comparison`
+Fig. 8       ECDF of per-task completion-time gain                  :mod:`repro.experiments.ecdf`
+Fig. 9       probing-interval sweep under Traffic 1 / Traffic 2     :mod:`repro.experiments.probing_sweep`
+===========  =====================================================  =========================
+"""
+
+from repro.experiments.fig4_topology import Fig4Topology, build_fig4_network
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    ExperimentScale,
+    FULL_SCALE,
+    QUICK_SCALE,
+    SMOKE_SCALE,
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    POLICY_RANDOM,
+    run_experiment,
+)
+from repro.experiments.calibration import CalibrationPoint, run_calibration, run_calibration_sweep
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.ecdf import gain_ecdf, paired_gains
+from repro.experiments.probing_sweep import ProbingSweepResult, run_probing_sweep
+from repro.experiments.sensitivity import SensitivityResult, sweep_k, sweep_probing_parameter
+from repro.experiments.export import (
+    calibration_to_dict,
+    comparison_to_dict,
+    dump_json,
+    result_to_dict,
+    sweep_to_dict,
+)
+
+__all__ = [
+    "Fig4Topology",
+    "build_fig4_network",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentScale",
+    "FULL_SCALE",
+    "QUICK_SCALE",
+    "SMOKE_SCALE",
+    "POLICY_AWARE",
+    "POLICY_NEAREST",
+    "POLICY_RANDOM",
+    "run_experiment",
+    "CalibrationPoint",
+    "run_calibration",
+    "run_calibration_sweep",
+    "ComparisonResult",
+    "run_comparison",
+    "gain_ecdf",
+    "paired_gains",
+    "ProbingSweepResult",
+    "run_probing_sweep",
+    "SensitivityResult",
+    "sweep_k",
+    "sweep_probing_parameter",
+    "calibration_to_dict",
+    "comparison_to_dict",
+    "dump_json",
+    "result_to_dict",
+    "sweep_to_dict",
+]

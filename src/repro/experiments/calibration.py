@@ -1,0 +1,144 @@
+"""Fig. 3 calibration: max queue depth and RTT vs egress utilization.
+
+Reproduces the paper's Section III-C experiment: two hosts connected by one
+P4 switch (h1 — s01 — h2), iperf pushing a fixed rate between them, ping
+measuring RTT at 1 s intervals, probes collecting the per-100 ms maximum
+queue depth from the switch registers.  "We run each bandwidth utilization
+value for 300 seconds and report the average values for ping and maximum
+queue length."
+
+The resulting (utilization, mean-max-queue) pairs feed
+:class:`~repro.core.estimators.QdepthUtilizationCurve` — the calibrated
+queue<->utilization map the bandwidth-based ranking inverts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.stats import mean
+from repro.core.estimators import QdepthUtilizationCurve
+from repro.errors import ExperimentError
+from repro.simnet.engine import Simulator
+from repro.simnet.flows import PingApp, PingResponder, UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.simnet.topology import Network
+from repro.telemetry.collector import IntCollector
+from repro.telemetry.probe import ProbeResponder, ProbeSender
+from repro.telemetry.records import ProbeReport
+from repro.units import mbps, ms
+
+__all__ = ["CalibrationPoint", "run_calibration", "run_calibration_sweep", "calibration_to_curve"]
+
+DEFAULT_LEVELS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One utilization level's measurements (one bar of Fig. 3)."""
+
+    utilization: float        # offered load as a fraction of link capacity
+    mean_max_qdepth: float    # mean of per-probing-interval max queue depths
+    peak_qdepth: int          # largest single reading
+    mean_rtt: float           # seconds
+    rtt_samples: int
+    qdepth_samples: int
+
+
+def run_calibration(
+    utilization: float,
+    *,
+    duration: float = 300.0,
+    rate_bps: float = mbps(20),
+    link_delay: float = ms(10),
+    probing_interval: float = 0.1,
+    seed: int = 0,
+) -> CalibrationPoint:
+    """Measure one utilization level on the dumbbell topology."""
+    if not 0.0 <= utilization <= 1.2:
+        raise ExperimentError(f"utilization {utilization} out of range")
+    if duration <= 2.0:
+        raise ExperimentError("calibration needs a few seconds of runtime")
+
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    net = Network(sim, streams)
+    net.add_host("h1")
+    net.add_host("h2")
+    net.add_switch("s01")
+    net.attach_host("h1", "s01", fabric_rate_bps=rate_bps, delay=link_delay)
+    net.attach_host("h2", "s01", fabric_rate_bps=rate_bps, delay=link_delay)
+    net.finalize()
+
+    # INT collection: probes h1 -> h2, collector at h2.
+    collector = IntCollector(net.host("h2"))
+    ProbeResponder(net.host("h2"), collector=collector)
+    qdepth_readings: List[int] = []
+
+    def capture(report: ProbeReport) -> None:
+        # Single switch: the lone hop record is s01's egress toward h2.
+        if report.records:
+            qdepth_readings.append(report.records[0].max_qdepth)
+
+    collector.subscribe(capture)
+    sender = ProbeSender(net.host("h1"), [net.address_of("h2")], interval=probing_interval)
+    sender.start()
+
+    # RTT measurement (ping, 1 s interval).
+    PingResponder(net.host("h2"))
+    ping = PingApp(net.host("h1"), net.address_of("h2"), interval=1.0)
+    ping.start()
+
+    # iperf at the requested fraction of link capacity.
+    if utilization > 0:
+        UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(
+            net.host("h1"),
+            net.address_of("h2"),
+            rate_bps * utilization,
+            rng=streams.get("iperf"),
+        )
+        flow.run_for(duration)
+
+    sim.run(until=duration)
+
+    if not qdepth_readings:
+        raise ExperimentError("no queue-depth readings collected")
+    return CalibrationPoint(
+        utilization=utilization,
+        mean_max_qdepth=mean([float(q) for q in qdepth_readings]),
+        peak_qdepth=max(qdepth_readings),
+        mean_rtt=ping.mean_rtt,
+        rtt_samples=len(ping.rtt_samples),
+        qdepth_samples=len(qdepth_readings),
+    )
+
+
+def run_calibration_sweep(
+    levels: Sequence[float] = DEFAULT_LEVELS,
+    *,
+    duration: float = 300.0,
+    rate_bps: float = mbps(20),
+    link_delay: float = ms(10),
+    probing_interval: float = 0.1,
+    seed: int = 0,
+) -> List[CalibrationPoint]:
+    """The full Fig. 3 sweep (fresh simulation per level)."""
+    return [
+        run_calibration(
+            level,
+            duration=duration,
+            rate_bps=rate_bps,
+            link_delay=link_delay,
+            probing_interval=probing_interval,
+            seed=seed,
+        )
+        for level in levels
+    ]
+
+
+def calibration_to_curve(points: Sequence[CalibrationPoint]) -> QdepthUtilizationCurve:
+    """Turn sweep output into the estimator's queue->utilization curve."""
+    pairs = [(p.utilization, p.mean_max_qdepth) for p in points]
+    return QdepthUtilizationCurve.from_calibration(pairs)

@@ -1,0 +1,114 @@
+"""Policy comparisons: the Figs. 5, 6, and 7 experiments.
+
+Each figure compares the network-aware scheduler against the Nearest and
+Random baselines across the four Table I size classes:
+
+* Fig. 5 — serverless workload, delay-based ranking, task completion time;
+* Fig. 6 — distributed workload, delay-based ranking, task completion time;
+* Fig. 7 — distributed workload, bandwidth-based ranking, transfer time.
+
+Runs within one size class share a seed, so the workload and congestion are
+identical across policies and the paper's "performance gain" bars —
+``(baseline − aware) / baseline`` — are computed on paired populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.edge.task import SizeClass
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    POLICY_RANDOM,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = ["ComparisonResult", "run_comparison", "FIG5_CONFIG", "FIG6_CONFIG", "FIG7_CONFIG"]
+
+ALL_CLASSES = (SizeClass.VS, SizeClass.S, SizeClass.M, SizeClass.L)
+DEFAULT_POLICIES = (POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM)
+
+# Base configurations for the three figures (size_class is swept).
+FIG5_CONFIG = ExperimentConfig(workload="serverless", metric="delay")
+FIG6_CONFIG = ExperimentConfig(workload="distributed", metric="delay")
+FIG7_CONFIG = ExperimentConfig(workload="distributed", metric="bandwidth")
+
+
+@dataclass
+class ComparisonResult:
+    """All runs of one figure: results keyed by (size class, policy)."""
+
+    base_config: ExperimentConfig
+    results: Dict[Tuple[SizeClass, str], ExperimentResult] = field(default_factory=dict)
+
+    def result(self, size_class: SizeClass, policy: str) -> ExperimentResult:
+        try:
+            return self.results[(size_class, policy)]
+        except KeyError:
+            raise ExperimentError(
+                f"no run for ({size_class.label}, {policy})"
+            ) from None
+
+    def size_classes(self) -> List[SizeClass]:
+        return sorted({k[0] for k in self.results}, key=lambda c: c.label)
+
+    # -- figure panels -------------------------------------------------------
+
+    def mean_time(
+        self, size_class: SizeClass, policy: str, measure: str = "completion"
+    ) -> float:
+        res = self.result(size_class, policy)
+        if measure == "completion":
+            return res.mean_completion_time(size_class)
+        if measure == "transfer":
+            return res.mean_transfer_time(size_class)
+        raise ExperimentError(f"unknown measure {measure!r}")
+
+    def gain_percent(
+        self,
+        size_class: SizeClass,
+        *,
+        baseline: str = POLICY_NEAREST,
+        measure: str = "completion",
+    ) -> float:
+        """The figures' right panel: percent reduction of the mean metric
+        achieved by the network-aware scheduler over ``baseline``."""
+        aware = self.mean_time(size_class, POLICY_AWARE, measure)
+        base = self.mean_time(size_class, baseline, measure)
+        if base <= 0:
+            raise ExperimentError("baseline mean is non-positive")
+        return 100.0 * (base - aware) / base
+
+    def as_rows(self, measure: str = "completion") -> List[Tuple[str, float, float, float, float]]:
+        """(class, aware, nearest, random, gain-vs-nearest %) per size class."""
+        rows = []
+        for sc in self.size_classes():
+            aware = self.mean_time(sc, POLICY_AWARE, measure)
+            nearest = self.mean_time(sc, POLICY_NEAREST, measure)
+            random_ = (
+                self.mean_time(sc, POLICY_RANDOM, measure)
+                if (sc, POLICY_RANDOM) in self.results
+                else float("nan")
+            )
+            rows.append((sc.label, aware, nearest, random_, self.gain_percent(sc, measure=measure)))
+        return rows
+
+
+def run_comparison(
+    base_config: ExperimentConfig,
+    *,
+    size_classes: Sequence[SizeClass] = ALL_CLASSES,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+) -> ComparisonResult:
+    """Run every (size class × policy) cell of one figure."""
+    out = ComparisonResult(base_config=base_config)
+    for size_class in size_classes:
+        for policy in policies:
+            config = replace(base_config, size_class=size_class, policy=policy)
+            out.results[(size_class, policy)] = run_experiment(config)
+    return out

@@ -1,0 +1,146 @@
+"""Machine-readable export of experiment results.
+
+Experiments print text tables for humans; downstream analysis (notebooks,
+regression tracking, plotting elsewhere) wants structured data.  These
+functions flatten result objects into JSON-serializable dictionaries —
+every value is a str/int/float/bool/list/dict, checked by tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.edge.metrics import TaskRecord
+from repro.experiments.calibration import CalibrationPoint
+from repro.experiments.comparison import ComparisonResult
+from repro.experiments.harness import ExperimentConfig, ExperimentResult
+from repro.experiments.probing_sweep import ProbingSweepResult
+
+__all__ = [
+    "config_to_dict",
+    "task_record_to_dict",
+    "result_to_dict",
+    "comparison_to_dict",
+    "calibration_to_dict",
+    "sweep_to_dict",
+    "dump_json",
+]
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
+    return {
+        "policy": config.policy,
+        "metric": config.metric,
+        "workload": config.workload,
+        "size_class": config.size_class.label,
+        "seed": config.seed,
+        "scenario": config.scenario.name,
+        "total_tasks": config.scale.total_tasks,
+        "size_scale": config.scale.size_scale,
+        "mean_interarrival": config.scale.mean_interarrival,
+        "time_scale": config.scale.time_scale,
+        "probing_interval": config.probing_interval,
+        "probe_layout": config.probe_layout,
+        "k": config.k,
+        "selection": config.selection,
+    }
+
+
+def task_record_to_dict(record: TaskRecord) -> Dict[str, Any]:
+    return {
+        "task_id": record.task_id,
+        "job_id": record.job_id,
+        "device": record.device,
+        "workload": record.workload,
+        "size_class": record.size_class.label,
+        "data_bytes": record.data_bytes,
+        "exec_time": record.exec_time,
+        "server_addr": record.server_addr,
+        "submitted_at": record.submitted_at,
+        "transfer_started": record.transfer_started,
+        "transfer_completed": record.transfer_completed,
+        "result_received_at": record.result_received_at,
+        "retransmissions": record.retransmissions,
+        "failed": record.failed,
+        "completion_time": record.completion_time if record.complete else None,
+        "transfer_time": (
+            record.transfer_time
+            if record.transfer_started is not None
+            and record.transfer_completed is not None
+            else None
+        ),
+    }
+
+
+def result_to_dict(result: ExperimentResult, *, include_tasks: bool = True) -> Dict[str, Any]:
+    out: Dict[str, Any] = {
+        "config": config_to_dict(result.config),
+        "sim_time": result.sim_time,
+        "events_executed": result.events_executed,
+        "queries_served": result.queries_served,
+        "probe_reports": result.probe_reports,
+        "tasks_completed": result.tasks_completed,
+        "tasks_failed": result.tasks_failed,
+        "mean_completion_time": result.mean_completion_time(),
+        "mean_transfer_time": result.mean_transfer_time(),
+    }
+    if include_tasks:
+        out["tasks"] = [task_record_to_dict(r) for r in result.records_in_order]
+    return out
+
+
+def comparison_to_dict(comparison: ComparisonResult) -> Dict[str, Any]:
+    cells: List[Dict[str, Any]] = []
+    for (size_class, policy), result in sorted(
+        comparison.results.items(), key=lambda kv: (kv[0][0].label, kv[0][1])
+    ):
+        cells.append(
+            {
+                "size_class": size_class.label,
+                "policy": policy,
+                "mean_completion_time": result.mean_completion_time(size_class),
+                "mean_transfer_time": result.mean_transfer_time(size_class),
+            }
+        )
+    return {
+        "base_config": config_to_dict(comparison.base_config),
+        "cells": cells,
+        "gains_vs_nearest_percent": {
+            sc.label: comparison.gain_percent(sc) for sc in comparison.size_classes()
+        },
+    }
+
+
+def calibration_to_dict(points: List[CalibrationPoint]) -> Dict[str, Any]:
+    return {
+        "points": [
+            {
+                "utilization": p.utilization,
+                "mean_max_qdepth": p.mean_max_qdepth,
+                "peak_qdepth": p.peak_qdepth,
+                "mean_rtt": p.mean_rtt,
+                "rtt_samples": p.rtt_samples,
+                "qdepth_samples": p.qdepth_samples,
+            }
+            for p in points
+        ]
+    }
+
+
+def sweep_to_dict(sweep: ProbingSweepResult) -> Dict[str, Any]:
+    return {
+        "scenario": sweep.scenario,
+        "series": [
+            {"probing_interval": interval, "mean_transfer_time": value}
+            for interval, value in sweep.series()
+        ],
+    }
+
+
+def dump_json(payload: Dict[str, Any], path: str) -> None:
+    """Write (and round-trip-validate) a result dictionary as JSON."""
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    json.loads(text)  # defensive: everything must be JSON-native
+    with open(path, "w") as fh:
+        fh.write(text + "\n")

@@ -1,0 +1,135 @@
+"""The experimental topology (paper Fig. 4): 8 nodes, 12 switches.
+
+The paper's figure is not machine-readable, so the builder realizes every
+property the text states:
+
+* 12 switches connect 8 nodes;
+* every link has the same 10 ms delay;
+* the effective per-hop forwarding capacity is ~20 Mb/s (BMv2 bottleneck,
+  Section IV / Section III-C footnote 3);
+* nodes three switch-hops apart are each other's *nearest* nodes, and
+  "Node 7 and Node 8 are the nearest nodes for each other";
+* distinct regions of the network congest independently;
+* Node 6 is the scheduler.
+
+Realization: four pods, each one core switch plus two leaf switches with one
+node per leaf; the cores form a ring.
+
+::
+
+        pod 1            pod 2            pod 3            pod 4
+    n1   n2          n3   n4          n5   n6          n7   n8
+     |    |           |    |           |    |           |    |
+    s05  s06         s07  s08         s09  s10         s11  s12     (leaves)
+      \\  /             \\  /            \\  /             \\  /
+      s01 ----------- s02 ------------ s03 ------------ s04         (cores)
+       `-----------------------------------------------'   (ring closes 4-1)
+
+In-pod node pairs (e.g. node7 -> s11 -> s04 -> s12 -> node8) traverse exactly
+three switches; cross-pod pairs traverse four or five.  Switches are named in
+switch-id order (``s01`` .. ``s12``) so the control plane's lexicographic
+route tie-breaking matches the scheduler's id-ordered tie-breaking on the
+inferred topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.simnet.engine import Simulator
+from repro.simnet.random import RandomStreams
+from repro.simnet.topology import Network
+from repro.units import mbps, ms
+
+__all__ = ["Fig4Topology", "build_fig4_network", "FABRIC_RATE_BPS", "LINK_DELAY_S"]
+
+FABRIC_RATE_BPS = mbps(20)   # effective BMv2 forwarding rate (paper footnote 3)
+LINK_DELAY_S = ms(10)        # uniform link delay (Section IV)
+NUM_PODS = 4
+SCHEDULER_NODE = "node6"
+
+
+@dataclass
+class Fig4Topology:
+    """The built network plus the experiment's role assignments."""
+
+    network: Network
+    node_names: List[str]
+    scheduler_name: str
+    core_names: List[str]
+    leaf_names: List[str]
+    fabric_rate_bps: float
+    link_delay: float
+    pod_of: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def worker_names(self) -> List[str]:
+        """Nodes that submit and execute tasks (everyone but the scheduler)."""
+        return [n for n in self.node_names if n != self.scheduler_name]
+
+    @property
+    def scheduler_addr(self) -> int:
+        return self.network.address_of(self.scheduler_name)
+
+
+def build_fig4_network(
+    sim: Simulator,
+    streams: Optional[RandomStreams] = None,
+    *,
+    fabric_rate_bps: float = FABRIC_RATE_BPS,
+    link_delay: float = LINK_DELAY_S,
+    injection_multiplier: float = 10.0,
+    queue_capacity: Optional[int] = None,
+    scheduler_name: str = SCHEDULER_NODE,
+) -> Fig4Topology:
+    """Construct and finalize the Fig. 4 network."""
+    net = Network(sim, streams)
+    node_names = [f"node{i}" for i in range(1, 2 * NUM_PODS + 1)]
+    core_names = [f"s{i:02d}" for i in range(1, NUM_PODS + 1)]
+    leaf_names = [f"s{i:02d}" for i in range(NUM_PODS + 1, 3 * NUM_PODS + 1)]
+
+    for name in node_names:
+        net.add_host(name)
+    for name in core_names + leaf_names:  # cores first: switch ids 1..4
+        net.add_switch(name)
+
+    pod_of: Dict[str, int] = {}
+    for pod in range(NUM_PODS):
+        core = core_names[pod]
+        for slot in range(2):
+            leaf = leaf_names[2 * pod + slot]
+            node = node_names[2 * pod + slot]
+            net.connect(
+                leaf, core,
+                rate_bps=fabric_rate_bps, delay=link_delay,
+                queue_capacity=queue_capacity,
+            )
+            net.attach_host(
+                node, leaf,
+                fabric_rate_bps=fabric_rate_bps, delay=link_delay,
+                injection_multiplier=injection_multiplier,
+                queue_capacity=queue_capacity,
+            )
+            pod_of[node] = pod + 1
+    # Core ring.
+    for pod in range(NUM_PODS):
+        net.connect(
+            core_names[pod], core_names[(pod + 1) % NUM_PODS],
+            rate_bps=fabric_rate_bps, delay=link_delay,
+            queue_capacity=queue_capacity,
+        )
+    net.finalize()
+
+    if scheduler_name not in net.hosts:
+        raise ValueError(f"scheduler {scheduler_name!r} is not one of the nodes")
+    return Fig4Topology(
+        network=net,
+        node_names=node_names,
+        scheduler_name=scheduler_name,
+        core_names=core_names,
+        leaf_names=leaf_names,
+        fabric_rate_bps=fabric_rate_bps,
+        link_delay=link_delay,
+        pod_of=pod_of,
+    )

@@ -1,0 +1,112 @@
+"""Parameter-sensitivity sweeps for the scheduler's knobs.
+
+The paper fixes k = 20 ms by inspection and "leave[s] its automation and
+fine-tuning as a future work"; the telemetry staleness window and the
+queue-depth noise floor are implementation parameters this reproduction
+introduces.  This harness quantifies how sensitive the headline result
+(gain of network-aware over nearest) is to each knob, holding workload and
+congestion fixed via the usual paired-seed machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.edge.task import SizeClass
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    QUICK_SCALE,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+
+__all__ = ["SensitivityResult", "sweep_k", "sweep_probing_parameter"]
+
+
+@dataclass
+class SensitivityResult:
+    """Gain of aware-over-nearest per parameter value."""
+
+    parameter: str
+    base_config: ExperimentConfig
+    nearest: ExperimentResult = None
+    runs: Dict[float, ExperimentResult] = field(default_factory=dict)
+
+    def gain_percent(self, value: float, measure: str = "completion") -> float:
+        run = self.runs.get(value)
+        if run is None:
+            raise ExperimentError(f"no run for {self.parameter}={value}")
+        if measure == "completion":
+            aware_t = run.mean_completion_time()
+            nearest_t = self.nearest.mean_completion_time()
+        elif measure == "transfer":
+            aware_t = run.mean_transfer_time()
+            nearest_t = self.nearest.mean_transfer_time()
+        else:
+            raise ExperimentError(f"unknown measure {measure!r}")
+        return 100.0 * (nearest_t - aware_t) / nearest_t
+
+    def series(self, measure: str = "completion") -> List[Tuple[float, float]]:
+        return [(v, self.gain_percent(v, measure)) for v in sorted(self.runs)]
+
+    def best_value(self, measure: str = "completion") -> float:
+        return max(self.series(measure), key=lambda item: item[1])[0]
+
+
+def _default_config(seed: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        workload="serverless",
+        metric="delay",
+        size_class=SizeClass.S,
+        scale=QUICK_SCALE,
+        seed=seed,
+    )
+
+
+def sweep_k(
+    values: Sequence[float] = (0.0, 0.005, 0.020, 0.080),
+    *,
+    base_config: ExperimentConfig = None,
+    seed: int = 0,
+) -> SensitivityResult:
+    """Sweep Algorithm 1's queue->latency conversion factor.
+
+    k = 0 disables congestion avoidance entirely; very large k makes any
+    queue blip out-weigh real path-length differences."""
+    if base_config is None:
+        base_config = _default_config(seed)
+    result = SensitivityResult(parameter="k", base_config=base_config)
+    result.nearest = run_experiment(replace(base_config, policy=POLICY_NEAREST))
+    for value in values:
+        if value < 0:
+            raise ExperimentError(f"k must be >= 0, got {value}")
+        result.runs[value] = run_experiment(
+            replace(base_config, policy=POLICY_AWARE, k=value)
+        )
+    return result
+
+
+def sweep_probing_parameter(
+    parameter: str,
+    values: Sequence[float],
+    *,
+    base_config: ExperimentConfig = None,
+    seed: int = 0,
+) -> SensitivityResult:
+    """Generic sweep over any numeric ExperimentConfig field (e.g.
+    ``probing_interval``) against the shared nearest baseline."""
+    if base_config is None:
+        base_config = _default_config(seed)
+    if not hasattr(base_config, parameter):
+        raise ExperimentError(f"unknown config field {parameter!r}")
+    result = SensitivityResult(parameter=parameter, base_config=base_config)
+    result.nearest = run_experiment(replace(base_config, policy=POLICY_NEAREST))
+    for value in values:
+        result.runs[value] = run_experiment(
+            replace(base_config, policy=POLICY_AWARE, **{parameter: value})
+        )
+    return result

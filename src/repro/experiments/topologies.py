@@ -1,0 +1,112 @@
+"""Reference topologies beyond the paper's Fig. 4.
+
+The Fig. 4 pod-ring is the evaluation topology; downstream users studying
+INT-driven scheduling on other shapes get ready-made builders here.  All
+builders follow the same conventions as :mod:`repro.experiments.fig4_topology`:
+switches named in switch-id order (consistent tie-breaking), host injection
+faster than the fabric, uniform configurable link delay.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import TopologyError
+from repro.simnet.engine import Simulator
+from repro.simnet.random import RandomStreams
+from repro.simnet.topology import Network
+from repro.units import mbps, ms
+
+__all__ = ["build_linear", "build_star", "build_fat_tree"]
+
+DEFAULT_RATE = mbps(20)
+DEFAULT_DELAY = ms(10)
+
+
+def build_linear(
+    sim: Simulator,
+    streams: Optional[RandomStreams] = None,
+    *,
+    num_switches: int = 4,
+    fabric_rate_bps: float = DEFAULT_RATE,
+    link_delay: float = DEFAULT_DELAY,
+) -> Tuple[Network, List[str]]:
+    """A chain: h1 - s01 - s02 - ... - sNN - h2, one host per chain end plus
+    one host per middle switch.  Good for hop-count-scaling studies (e.g.
+    INT stack growth, per-hop latency accumulation).
+
+    Returns ``(network, host_names)``."""
+    if num_switches < 1:
+        raise TopologyError("linear topology needs at least one switch")
+    net = Network(sim, streams)
+    switch_names = [f"s{i:02d}" for i in range(1, num_switches + 1)]
+    host_names = [f"h{i}" for i in range(1, num_switches + 1)]
+    for name in host_names:
+        net.add_host(name)
+    for name in switch_names:
+        net.add_switch(name)
+    for a, b in zip(switch_names, switch_names[1:]):
+        net.connect(a, b, rate_bps=fabric_rate_bps, delay=link_delay)
+    for host, switch in zip(host_names, switch_names):
+        net.attach_host(host, switch, fabric_rate_bps=fabric_rate_bps, delay=link_delay)
+    net.finalize()
+    return net, host_names
+
+
+def build_star(
+    sim: Simulator,
+    streams: Optional[RandomStreams] = None,
+    *,
+    num_hosts: int = 6,
+    fabric_rate_bps: float = DEFAULT_RATE,
+    link_delay: float = DEFAULT_DELAY,
+) -> Tuple[Network, List[str]]:
+    """All hosts on one switch — the Fig. 3 calibration shape generalized.
+    Every host pair contends on exactly one egress port, so congestion
+    effects are maximally visible and attributable."""
+    if num_hosts < 2:
+        raise TopologyError("star topology needs at least two hosts")
+    net = Network(sim, streams)
+    host_names = [f"h{i}" for i in range(1, num_hosts + 1)]
+    for name in host_names:
+        net.add_host(name)
+    net.add_switch("s01")
+    for host in host_names:
+        net.attach_host(host, "s01", fabric_rate_bps=fabric_rate_bps, delay=link_delay)
+    net.finalize()
+    return net, host_names
+
+
+def build_fat_tree(
+    sim: Simulator,
+    streams: Optional[RandomStreams] = None,
+    *,
+    pods: int = 2,
+    hosts_per_leaf: int = 2,
+    fabric_rate_bps: float = DEFAULT_RATE,
+    link_delay: float = DEFAULT_DELAY,
+) -> Tuple[Network, List[str]]:
+    """A small two-level leaf/spine fabric: ``pods`` leaves per tier, two
+    spines, every leaf connected to every spine (path diversity — useful
+    for studying the scheduler under equal-cost ambiguity).
+
+    Layout: spines s01, s02; leaves s03 .. s(2+pods); hosts h1.. attached
+    ``hosts_per_leaf`` per leaf."""
+    if pods < 1 or hosts_per_leaf < 1:
+        raise TopologyError("fat tree needs >= 1 pod and >= 1 host per leaf")
+    net = Network(sim, streams)
+    spine_names = ["s01", "s02"]
+    leaf_names = [f"s{i:02d}" for i in range(3, 3 + pods)]
+    host_names = [f"h{i}" for i in range(1, pods * hosts_per_leaf + 1)]
+    for name in host_names:
+        net.add_host(name)
+    for name in spine_names + leaf_names:
+        net.add_switch(name)
+    for leaf in leaf_names:
+        for spine in spine_names:
+            net.connect(leaf, spine, rate_bps=fabric_rate_bps, delay=link_delay)
+    for i, host in enumerate(host_names):
+        leaf = leaf_names[i // hosts_per_leaf]
+        net.attach_host(host, leaf, fabric_rate_bps=fabric_rate_bps, delay=link_delay)
+    net.finalize()
+    return net, host_names

@@ -1,0 +1,22 @@
+"""Legacy network monitoring — the alternative the paper argues against.
+
+The paper's motivation (Sections I–II) is that "traditional network
+monitoring practices (e.g., port-level and flow-level statistics) ...
+reporting frequency in the order of tens of seconds falls short to capture
+transient congestion events".  This subpackage implements that tradition so
+the claim can be tested rather than assumed:
+
+* :mod:`repro.legacy.snmp` — SNMP-style port-counter polling: periodic
+  (default 30 s) snapshots of per-port byte counters, converted into
+  average utilization over the poll window;
+* :mod:`repro.legacy.scheduler` — a network-aware scheduler driven by those
+  counters instead of INT.
+
+The INT-vs-SNMP ablation benchmark pits the two against each other under
+dynamic congestion.
+"""
+
+from repro.legacy.snmp import PortCounterSample, SnmpPoller
+from repro.legacy.scheduler import SnmpScheduler
+
+__all__ = ["PortCounterSample", "SnmpPoller", "SnmpScheduler"]

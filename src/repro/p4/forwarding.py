@@ -1,0 +1,39 @@
+"""Plain L3 forwarding program — the non-telemetry baseline data plane.
+
+Matches the destination address against the ``ipv4_forward`` exact-match
+table, decrements TTL, and forwards.  The INT program subclasses this and
+adds the telemetry behaviour on top, mirroring how the paper's P4 program
+extends ordinary forwarding.
+"""
+
+from __future__ import annotations
+
+from repro.p4.pipeline import P4Program, PipelineContext
+
+__all__ = ["PlainForwardingProgram", "FORWARD_TABLE"]
+
+FORWARD_TABLE = "ipv4_forward"
+
+
+class PlainForwardingProgram(P4Program):
+    """Destination-address exact-match forwarding with TTL handling."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.forward_table = self.declare_table(FORWARD_TABLE, default_action="drop")
+
+    def ingress(self, ctx: PipelineContext) -> None:
+        packet = ctx.packet
+        if packet.ttl <= 1:
+            ctx.mark_drop()
+            return
+        action, params = self.forward_table.lookup(packet.dst_addr)
+        if action == "forward":
+            packet.ttl -= 1
+            ctx.set_egress_port(params["port"])
+        else:  # "drop" (table miss or explicit drop entry)
+            ctx.mark_drop()
+
+    # Control-plane helper used by the routing module.
+    def install_route(self, dst_addr: int, port_index: int) -> None:
+        self.forward_table.set_entry(dst_addr, "forward", port=port_index)

@@ -1,0 +1,163 @@
+"""Byte-level codecs for the probe header and per-hop INT metadata stack.
+
+Probe packets are UDP datagrams whose payload is::
+
+    +--------+---------+-----------+
+    | magic  | version | hop_count |   4-byte probe header
+    +--------+---------+-----------+
+    | hop record 0 (17 bytes)      |   appended by the 1st switch
+    | hop record 1                 |   appended by the 2nd switch
+    | ...                          |
+    +------------------------------+
+
+Each hop record is ``!HBHiq``:
+
+======================  ======  ==================================================
+field                   bytes   meaning
+======================  ======  ==================================================
+``switch_id``           2       numeric id of the switch that appended the record
+``egress_port``         1       egress port the probe left through
+``max_qdepth``          2       max queue depth register value, reset on read
+``link_latency_us``     4       measured latency of the *upstream* link in
+                                microseconds (signed: clock jitter can produce
+                                small negative readings), or the sentinel
+                                ``NO_LATENCY`` at the first hop
+``egress_ts_us``        8       this switch's egress timestamp in microseconds
+======================  ======  ==================================================
+
+The record order encodes the path — Section III-B's topology inference
+("if a probe packet contains INT data in S1-S3-S4 order, we can deduce that
+S1 and S3 are connected, and so are S3 and S4").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import PacketError
+
+__all__ = [
+    "IntHopRecord",
+    "PROBE_MAGIC",
+    "PROBE_VERSION",
+    "HOP_RECORD_SIZE",
+    "PROBE_HEADER_SIZE",
+    "NO_LATENCY",
+    "encode_probe_header",
+    "encode_hop_record",
+    "append_hop_record",
+    "decode_probe_payload",
+]
+
+PROBE_MAGIC = b"NT"
+PROBE_VERSION = 1
+_HEADER_FMT = "!2sBB"
+_RECORD_FMT = "!HBHiq"
+PROBE_HEADER_SIZE = struct.calcsize(_HEADER_FMT)   # 4
+HOP_RECORD_SIZE = struct.calcsize(_RECORD_FMT)     # 17
+
+# Sentinel for "no upstream latency measurement" (first INT hop).
+NO_LATENCY = -(2**31)
+
+_MAX_QDEPTH = 0xFFFF
+_MAX_SWITCH_ID = 0xFFFF
+_MAX_PORT = 0xFF
+_I32_MIN, _I32_MAX = -(2**31) + 1, 2**31 - 1
+
+
+@dataclass(frozen=True)
+class IntHopRecord:
+    """Decoded per-hop INT metadata (times in seconds, as floats)."""
+
+    switch_id: int
+    egress_port: int
+    max_qdepth: int
+    link_latency: Optional[float]  # seconds; None at the first hop
+    egress_ts: float               # seconds (switch-local clock)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.switch_id <= _MAX_SWITCH_ID:
+            raise PacketError(f"switch_id {self.switch_id} out of range")
+        if not 0 <= self.egress_port <= _MAX_PORT:
+            raise PacketError(f"egress_port {self.egress_port} out of range")
+        if self.max_qdepth < 0:
+            raise PacketError(f"max_qdepth {self.max_qdepth} negative")
+
+
+def encode_probe_header(hop_count: int = 0) -> bytes:
+    """Initial probe payload (written by the probe sender, no hops yet)."""
+    if not 0 <= hop_count <= 0xFF:
+        raise PacketError(f"hop_count {hop_count} out of range")
+    return struct.pack(_HEADER_FMT, PROBE_MAGIC, PROBE_VERSION, hop_count)
+
+
+def encode_hop_record(record: IntHopRecord) -> bytes:
+    """Serialize one hop record with saturating clamps, as a width-limited
+    P4 header field would."""
+    qdepth = min(record.max_qdepth, _MAX_QDEPTH)
+    if record.link_latency is None:
+        latency_us = NO_LATENCY
+    else:
+        latency_us = int(round(record.link_latency * 1e6))
+        latency_us = max(_I32_MIN, min(_I32_MAX, latency_us))
+    ts_us = int(round(record.egress_ts * 1e6))
+    return struct.pack(
+        _RECORD_FMT, record.switch_id, record.egress_port, qdepth, latency_us, ts_us
+    )
+
+
+def _parse_header(payload: bytes) -> Tuple[int, int]:
+    if len(payload) < PROBE_HEADER_SIZE:
+        raise PacketError(f"probe payload truncated: {len(payload)}B < header")
+    magic, version, hop_count = struct.unpack_from(_HEADER_FMT, payload, 0)
+    if magic != PROBE_MAGIC:
+        raise PacketError(f"bad probe magic {magic!r}")
+    if version != PROBE_VERSION:
+        raise PacketError(f"unsupported probe version {version}")
+    return version, hop_count
+
+
+def append_hop_record(payload: bytes, record: IntHopRecord) -> bytes:
+    """Return ``payload`` with ``record`` appended and hop_count incremented —
+    what the INT program's deparser emits at each switch."""
+    _, hop_count = _parse_header(payload)
+    if hop_count >= 0xFF:
+        raise PacketError("INT stack full (255 hops)")
+    expected = PROBE_HEADER_SIZE + hop_count * HOP_RECORD_SIZE
+    if len(payload) != expected:
+        raise PacketError(
+            f"probe payload length {len(payload)} inconsistent with hop_count={hop_count}"
+        )
+    new_header = encode_probe_header(hop_count + 1)
+    return new_header + payload[PROBE_HEADER_SIZE:] + encode_hop_record(record)
+
+
+def decode_probe_payload(payload: bytes) -> List[IntHopRecord]:
+    """Decode the full INT stack, in path order (collector side)."""
+    _, hop_count = _parse_header(payload)
+    expected = PROBE_HEADER_SIZE + hop_count * HOP_RECORD_SIZE
+    if len(payload) != expected:
+        raise PacketError(
+            f"probe payload length {len(payload)} != expected {expected} "
+            f"for hop_count={hop_count}"
+        )
+    records: List[IntHopRecord] = []
+    offset = PROBE_HEADER_SIZE
+    for _ in range(hop_count):
+        switch_id, port, qdepth, latency_us, ts_us = struct.unpack_from(
+            _RECORD_FMT, payload, offset
+        )
+        offset += HOP_RECORD_SIZE
+        latency = None if latency_us == NO_LATENCY else latency_us / 1e6
+        records.append(
+            IntHopRecord(
+                switch_id=switch_id,
+                egress_port=port,
+                max_qdepth=qdepth,
+                link_latency=latency,
+                egress_ts=ts_us / 1e6,
+            )
+        )
+    return records

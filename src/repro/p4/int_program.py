@@ -1,0 +1,116 @@
+"""The paper's INT data-plane program (Section III-A, Fig. 2).
+
+Behaviour, per packet class:
+
+* **Regular packet** at egress: fold the queue depth it observed at enqueue
+  into the per-port ``max_qdepth`` register (``reg = max(reg, enq_qdepth)``)
+  and forward it *unmodified* — the paper's core design choice that avoids
+  growing every data packet with INT metadata.
+
+* **Probe packet** at ingress: if the upstream hop stamped an egress
+  timestamp, measure upstream link latency as ``local_clock - stamp``.
+  This runs before the packet is enqueued, so the measurement excludes this
+  switch's queueing delay (Section III-C).
+
+* **Probe packet** at egress: read-and-reset the ``max_qdepth`` register for
+  the probe's egress port, append a hop record ``(switch_id, port, qdepth,
+  upstream link latency, egress timestamp)`` to the probe payload, and stamp
+  the egress timestamp for the next hop's latency measurement.
+
+Registers are per egress port — one register per INT parameter per port, not
+per packet (Section III-A).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DataPlaneError, PacketError
+from repro.p4.forwarding import PlainForwardingProgram
+from repro.p4.headers import IntHopRecord, append_hop_record
+from repro.p4.pipeline import PipelineContext
+
+__all__ = ["IntTelemetryProgram", "MAX_QDEPTH_REGISTER"]
+
+MAX_QDEPTH_REGISTER = "max_qdepth"
+
+
+class IntTelemetryProgram(PlainForwardingProgram):
+    """Forwarding + register-based INT collection."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._qdepth_reg = None  # sized at bind time from the port count
+        self.probes_processed = 0
+        self.data_packets_observed = 0
+        self.malformed_probes = 0
+
+    def on_bind(self) -> None:
+        assert self.switch is not None
+        num_ports = max(1, len(self.switch.ports))
+        self._qdepth_reg = self.declare_register(MAX_QDEPTH_REGISTER, num_ports, initial=0)
+
+    # -- parser ---------------------------------------------------------------
+
+    def parse(self, ctx: PipelineContext) -> None:
+        # Probe classification: the probe flag models the paper's
+        # "UDP with certain IP header fields set (aka Geneve option)".
+        ctx.meta["is_probe"] = ctx.packet.is_probe
+
+    # -- ingress ---------------------------------------------------------------
+
+    def ingress(self, ctx: PipelineContext) -> None:
+        packet = ctx.packet
+        if ctx.meta["is_probe"] and packet.last_egress_ts is not None:
+            # Upstream link latency, measured before enqueueing.
+            assert self.switch is not None
+            arrival = self.switch.clock.read()
+            packet.int_link_latency = arrival - packet.last_egress_ts
+        super().ingress(ctx)
+
+    # -- egress ---------------------------------------------------------------
+
+    def egress(self, ctx: PipelineContext) -> None:
+        assert self.switch is not None
+        if self._qdepth_reg is None:
+            raise DataPlaneError("INT program used before bind()")
+        packet = ctx.packet
+        port = ctx.egress_port
+        assert port is not None
+        if not ctx.meta["is_probe"]:
+            self.data_packets_observed += 1
+            self._qdepth_reg.max_update(port, ctx.enq_depth)
+            return
+
+        # Probe: collect-and-reset the register, append the hop record.
+        self.probes_processed += 1
+        qdepth = self._qdepth_reg.read_and_reset(port)
+        egress_ts = self.switch.clock.read()
+        record = IntHopRecord(
+            switch_id=self.switch.switch_id,
+            egress_port=port,
+            max_qdepth=qdepth,
+            link_latency=packet.int_link_latency,
+            egress_ts=egress_ts,
+        )
+        if packet.payload is None:
+            raise DataPlaneError(
+                f"probe packet #{packet.packet_id} has no payload to extend"
+            )
+        try:
+            new_payload = append_hop_record(packet.payload, record)
+        except PacketError:
+            # Probe-flagged packet with an undecodable payload (corruption
+            # or spoofing).  A hardware pipeline would forward it untouched;
+            # the register value it consumed is restored so real probes
+            # still collect it.
+            self.malformed_probes += 1
+            self._qdepth_reg.max_update(port, qdepth)
+            return
+        # Probes are padded to a fixed frame size (the paper's 1.5 KB
+        # packets), so growing the INT stack does not change the wire size
+        # unless the stack outgrows the padding.
+        packet.payload = new_payload
+        from repro.simnet.packet import HEADER_OVERHEAD  # local import: avoid cycle
+
+        packet.size_bytes = max(packet.size_bytes, HEADER_OVERHEAD + len(new_payload))
+        packet.int_link_latency = None
+        packet.last_egress_ts = egress_ts

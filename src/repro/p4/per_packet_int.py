@@ -1,0 +1,106 @@
+"""Classic per-packet INT — the design the paper rejects.
+
+Standard INT-MD embeds the metadata stack into *every* data packet: each
+switch appends its hop record and the sink extracts the accumulated stack.
+Section III-A rejects this because "the amount of packet payload reserved
+for telemetry data will grow quickly as the number of network devices that
+packets go through increases" (4.2 % for two fields over five hops, in the
+paper's arithmetic).
+
+This program implements the rejected design faithfully enough to *measure*
+that argument: every forwarded packet grows by
+:data:`~repro.p4.headers.HOP_RECORD_SIZE` per hop (consuming real link
+capacity in the simulation), and the per-hop metadata is the instantaneous
+queue depth — per-packet INT needs no registers, which is its one genuine
+advantage.
+
+Use :class:`PerPacketIntSink` at a receiving host to harvest the stacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.p4.forwarding import PlainForwardingProgram
+from repro.p4.headers import HOP_RECORD_SIZE, IntHopRecord
+from repro.p4.pipeline import PipelineContext
+from repro.simnet.addressing import PROTO_UDP
+from repro.simnet.host import Host
+from repro.simnet.packet import Packet
+
+__all__ = ["PerPacketIntProgram", "PerPacketIntSink"]
+
+
+class PerPacketIntProgram(PlainForwardingProgram):
+    """Forwarding + INT-MD-style per-packet metadata embedding."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records_embedded = 0
+        self.bytes_added = 0
+
+    def ingress(self, ctx: PipelineContext) -> None:
+        packet = ctx.packet
+        if packet.last_egress_ts is not None:
+            assert self.switch is not None
+            packet.int_link_latency = self.switch.clock.read() - packet.last_egress_ts
+        super().ingress(ctx)
+
+    def egress(self, ctx: PipelineContext) -> None:
+        assert self.switch is not None
+        packet = ctx.packet
+        egress_ts = self.switch.clock.read()
+        record = IntHopRecord(
+            switch_id=self.switch.switch_id,
+            egress_port=ctx.egress_port if ctx.egress_port is not None else 0,
+            max_qdepth=ctx.enq_depth,   # instantaneous: no register, no window
+            link_latency=packet.int_link_latency,
+            egress_ts=egress_ts,
+        )
+        if packet.int_stack is None:
+            packet.int_stack = []
+        packet.int_stack.append(record)
+        # The stack consumes real wire bytes — the overhead under test.
+        packet.size_bytes += HOP_RECORD_SIZE
+        self.records_embedded += 1
+        self.bytes_added += HOP_RECORD_SIZE
+        packet.int_link_latency = None
+        packet.last_egress_ts = egress_ts
+
+
+class PerPacketIntSink:
+    """Receiving-host telemetry extraction for per-packet INT.
+
+    Binds a UDP port, counts data and telemetry bytes, and hands each
+    packet's stack to an optional consumer — the role the paper assigns to
+    "the end hosts (or last P4-capable network device)"."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int,
+        *,
+        on_stack: Optional[Callable[[List[IntHopRecord]], None]] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.on_stack = on_stack
+        self.packets = 0
+        self.telemetry_bytes = 0
+        self.total_bytes = 0
+        host.bind(PROTO_UDP, port, self._on_packet)
+
+    def _on_packet(self, packet: Packet) -> None:
+        self.packets += 1
+        self.total_bytes += packet.size_bytes
+        if packet.int_stack:
+            self.telemetry_bytes += HOP_RECORD_SIZE * len(packet.int_stack)
+            if self.on_stack is not None:
+                self.on_stack(list(packet.int_stack))
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Telemetry bytes as a fraction of all bytes received."""
+        if self.total_bytes == 0:
+            return 0.0
+        return self.telemetry_bytes / self.total_bytes

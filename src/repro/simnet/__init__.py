@@ -1,0 +1,33 @@
+"""Discrete-event, packet-level network simulator.
+
+This subpackage is the substrate that replaces the paper's Mininet/BMv2
+testbed.  It provides:
+
+* :mod:`repro.simnet.engine` — the discrete-event core (simulated clock,
+  event queue, timers).
+* :mod:`repro.simnet.packet` — packets and header stacks.
+* :mod:`repro.simnet.link`, :mod:`repro.simnet.queueing`,
+  :mod:`repro.simnet.nic` — links with bandwidth/propagation delay and
+  drop-tail egress queues.
+* :mod:`repro.simnet.host`, :mod:`repro.simnet.switch` — end hosts running
+  applications and switches running programmable (P4-style) pipelines.
+* :mod:`repro.simnet.topology`, :mod:`repro.simnet.routing` — topology
+  construction and static shortest-path routing.
+* :mod:`repro.simnet.flows` — traffic sources: UDP constant-bit-rate (the
+  paper's iperf), a reliable windowed transport (task data transfers), and a
+  ping application (the paper's RTT measurements).
+"""
+
+from repro.simnet.engine import EventHandle, PeriodicTimer, Simulator
+from repro.simnet.packet import Packet
+from repro.simnet.topology import Network
+from repro.simnet.routing import compute_routes
+
+__all__ = [
+    "EventHandle",
+    "PeriodicTimer",
+    "Simulator",
+    "Packet",
+    "Network",
+    "compute_routes",
+]

@@ -1,0 +1,80 @@
+"""Node addressing and well-known transport ports.
+
+Nodes are identified by human-readable names (``"h1"``, ``"s3"``) but packets
+carry compact integer addresses assigned at topology construction time —
+the simulated analogue of an IPv4 address.  The mapping lives in
+:class:`AddressBook`.
+
+Well-known destination ports mirror the services in the paper's testbed:
+probe traffic, scheduler queries, task submission, ping, and iperf.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+from repro.errors import TopologyError
+
+__all__ = [
+    "AddressBook",
+    "PROTO_UDP",
+    "PROTO_TCP",
+    "PORT_SCHEDULER",
+    "PORT_PROBE",
+    "PORT_TASK",
+    "PORT_PING",
+    "PORT_IPERF",
+    "PORT_EPHEMERAL_BASE",
+]
+
+# IANA-style protocol numbers, used by the P4 parser stage.
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# Well-known destination ports.
+PORT_SCHEDULER = 5000      # edge-device -> scheduler queries (Fig. 1, steps 5/6)
+PORT_PROBE = 5001          # INT probe packets (Geneve-like option, Section III-A)
+PORT_TASK = 6000           # task submission / data transfer to edge servers
+PORT_PING = 7              # echo application (Fig. 3 RTT measurement)
+PORT_IPERF = 5201          # background CBR traffic (Section IV)
+PORT_EPHEMERAL_BASE = 49152
+
+
+class AddressBook:
+    """Bidirectional name <-> integer-address mapping for all nodes."""
+
+    def __init__(self) -> None:
+        self._name_to_addr: Dict[str, int] = {}
+        self._addr_to_name: Dict[int, str] = {}
+        self._next_addr = 1  # address 0 is reserved as "unset"
+
+    def register(self, name: str) -> int:
+        """Assign the next free address to ``name`` and return it."""
+        if name in self._name_to_addr:
+            raise TopologyError(f"node name {name!r} already registered")
+        addr = self._next_addr
+        self._next_addr += 1
+        self._name_to_addr[name] = addr
+        self._addr_to_name[addr] = name
+        return addr
+
+    def address_of(self, name: str) -> int:
+        try:
+            return self._name_to_addr[name]
+        except KeyError:
+            raise TopologyError(f"unknown node name {name!r}") from None
+
+    def name_of(self, addr: int) -> str:
+        try:
+            return self._addr_to_name[addr]
+        except KeyError:
+            raise TopologyError(f"unknown node address {addr}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_addr
+
+    def __len__(self) -> int:
+        return len(self._name_to_addr)
+
+    def names(self) -> Iterator[str]:
+        return iter(self._name_to_addr)

@@ -1,0 +1,226 @@
+"""Discrete-event simulation core.
+
+A deliberately small engine in the style of ns-3's scheduler: a binary heap
+of ``(time, sequence, callback)`` entries.  Callbacks run at their scheduled
+simulated time; ties are broken by insertion order so the simulation is fully
+deterministic for a given seed.
+
+The engine is callback-based rather than coroutine-based: profiling of early
+prototypes showed the callback form is ~3x faster in CPython for the millions
+of per-packet events the Fig. 5–9 experiments generate, and the network
+stack's state machines (queues, transports) are naturally event-driven.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["EventHandle", "Simulator", "PeriodicTimer"]
+
+# Heap entries are plain (time, seq, handle) tuples: tuple comparison runs in
+# C and the seq tiebreaker guarantees the handle is never compared.
+_HeapEntry = Tuple[float, int, "EventHandle"]
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable for cancellation.
+
+    Cancellation is lazy: the heap entry stays in the queue and is discarded
+    when popped, which keeps ``cancel`` O(1).
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<EventHandle t={self.time:.6f} {name} [{state}]>"
+
+
+class Simulator:
+    """Event queue with a simulated clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one second in")
+        sim.run(until=10.0)
+
+    Invariants:
+
+    * :attr:`now` never decreases.
+    * Events scheduled for the same time fire in scheduling order.
+    * Events may only be scheduled at or after :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[_HeapEntry] = []
+        self._seq: int = 0
+        self._running = False
+        self._stop_requested = False
+        self.events_executed: int = 0
+        self.events_cancelled: int = 0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.9f}s in the past")
+        return self.schedule_at(self._now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.9f} before now={self._now:.9f}"
+            )
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a pending event.  Cancelling twice or cancelling an event
+        that already fired is an error — it almost always indicates a state
+        machine bug in the caller."""
+        if handle.fired:
+            raise SimulationError("cannot cancel an event that already fired")
+        if handle.cancelled:
+            raise SimulationError("event already cancelled")
+        handle.cancelled = True
+        self.events_cancelled += 1
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._heap:
+            time, _seq, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.fired = True
+            self.events_executed += 1
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` events have executed in this call.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fired earlier, so back-to-back ``run`` calls
+        behave like contiguous wall-clock windows.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stop_requested = False
+        executed = 0
+        try:
+            heap = self._heap
+            pop = heapq.heappop
+            while heap and not self._stop_requested:
+                if until is not None and heap[0][0] > until:
+                    break
+                time, _seq, handle = pop(heap)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                handle.fired = True
+                self.events_executed += 1
+                handle.fn(*handle.args)
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._stop_requested:
+            if max_events is None or executed < max_events:
+                self._now = until
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stop_requested = True
+
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for _t, _s, h in self._heap if not h.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={self._now:.6f} pending={len(self._heap)} "
+            f"executed={self.events_executed}>"
+        )
+
+
+class PeriodicTimer:
+    """Fires a callback at a fixed period until stopped.
+
+    Used by probe senders (100 ms INT collection), CBR traffic sources, and
+    the ping application.  The first firing happens at ``start_delay`` after
+    :meth:`start` (default: one full period).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        start_delay: Optional[float] = None,
+        jitter_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if period <= 0:
+            raise SimulationError(f"timer period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._fn = fn
+        self._args = args
+        self._start_delay = period if start_delay is None else start_delay
+        self._jitter_fn = jitter_fn
+        self._handle: Optional[EventHandle] = None
+        self.fire_count = 0
+
+    @property
+    def running(self) -> bool:
+        return self._handle is not None
+
+    def start(self) -> None:
+        if self._handle is not None:
+            raise SimulationError("timer already started")
+        self._handle = self._sim.schedule(self._start_delay, self._fire)
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            if not self._handle.fired:
+                self._sim.cancel(self._handle)
+            self._handle = None
+
+    def _fire(self) -> None:
+        self.fire_count += 1
+        delay = self.period
+        if self._jitter_fn is not None:
+            delay = max(0.0, delay + self._jitter_fn())
+        self._handle = self._sim.schedule(delay, self._fire)
+        self._fn(*self._args)

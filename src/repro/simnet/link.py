@@ -1,0 +1,109 @@
+"""Point-to-point links: bandwidth + propagation delay.
+
+A :class:`Link` is full duplex; each direction is an independent channel (its
+own serializer and egress queue live in the :class:`~repro.simnet.nic.Port`
+at the sending end) and may have its own rate.  The link itself only
+contributes propagation delay and carries utilization accounting used by
+experiments and sanity checks.
+
+Per-direction rates model the paper's testbed bottleneck structure: BMv2
+forwards at an effective ~20 Mb/s (Section III-C footnote 3 — "maximum
+transfer speed is limited to 20 Mbps due to data plane programming
+overhead"), while end hosts inject traffic faster than that.  Queues —
+the INT observable — therefore build at *switch* egress ports, which is
+where the paper's registers measure them.  The Fig. 4 topology builder sets
+host→switch directions to a multiple of the fabric rate and every
+switch-egress direction to the fabric rate, with the paper's uniform 10 ms
+propagation delay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.nic import Port
+
+__all__ = ["Link"]
+
+
+class Link:
+    """Undirected cable between two ports.
+
+    Construction order: create both nodes, then ``Network.connect`` creates
+    the two ports and this link in one step — ``Link`` is not usually
+    instantiated directly.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rate_bps: float,
+        propagation_delay: float,
+        *,
+        rate_ab_bps: Optional[float] = None,
+        rate_ba_bps: Optional[float] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise TopologyError(f"link {name!r}: rate must be positive, got {rate_bps}")
+        if propagation_delay < 0:
+            raise TopologyError(
+                f"link {name!r}: propagation delay must be >= 0, got {propagation_delay}"
+            )
+        self.name = name
+        self.rate_bps = rate_bps  # symmetric default / nominal capacity
+        self.rate_ab_bps = rate_ab_bps if rate_ab_bps is not None else rate_bps
+        self.rate_ba_bps = rate_ba_bps if rate_ba_bps is not None else rate_bps
+        if self.rate_ab_bps <= 0 or self.rate_ba_bps <= 0:
+            raise TopologyError(f"link {name!r}: directional rates must be positive")
+        self.propagation_delay = propagation_delay
+        self.port_a: Optional["Port"] = None
+        self.port_b: Optional["Port"] = None
+        # Per-direction byte counters keyed by sending port, for utilization
+        # reporting (not visible to the scheduler, which must *infer* load).
+        self.bytes_carried = {"a": 0, "b": 0}
+
+    def attach(self, port_a: "Port", port_b: "Port") -> None:
+        if self.port_a is not None or self.port_b is not None:
+            raise TopologyError(f"link {self.name!r} already attached")
+        self.port_a = port_a
+        self.port_b = port_b
+
+    def rate_from(self, port: "Port") -> float:
+        """Serialization rate for traffic *sent by* ``port``."""
+        if port is self.port_a:
+            return self.rate_ab_bps
+        if port is self.port_b:
+            return self.rate_ba_bps
+        raise TopologyError(f"port {port!r} is not attached to link {self.name!r}")
+
+    def peer_of(self, port: "Port") -> "Port":
+        """The port on the other end of the cable."""
+        if port is self.port_a:
+            assert self.port_b is not None
+            return self.port_b
+        if port is self.port_b:
+            assert self.port_a is not None
+            return self.port_a
+        raise TopologyError(f"port {port!r} is not attached to link {self.name!r}")
+
+    def record_carried(self, port: "Port", nbytes: int) -> None:
+        key = "a" if port is self.port_a else "b"
+        self.bytes_carried[key] += nbytes
+
+    def utilization(self, port: "Port", window: float) -> float:
+        """Average utilization of the ``port``-outbound direction over a
+        ``window``-second interval ending now (requires caller to reset
+        counters per window)."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        key = "a" if port is self.port_a else "b"
+        return (self.bytes_carried[key] * 8.0) / (self.rate_from(port) * window)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Link {self.name} rate={self.rate_bps/1e6:.1f}Mbps "
+            f"delay={self.propagation_delay*1e3:.1f}ms>"
+        )

@@ -1,0 +1,113 @@
+"""Network ports: the egress queue + serializer at each end of a link.
+
+A :class:`Port` implements the store-and-forward path of one interface:
+
+1. :meth:`send` enqueues a packet on the drop-tail egress queue (recording
+   the depth it observed, the INT ``enq_qdepth`` signal);
+2. when the serializer is idle, the head packet starts transmission, which
+   takes ``size * 8 / rate`` seconds;
+3. at transmission **start** the owning node's egress hook runs — this is
+   where a P4 egress stage executes (probe timestamping / INT collection,
+   Section III-A of the paper);
+4. after transmission + propagation delay, the packet is delivered to the
+   peer port's node.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.simnet.link import Link
+from repro.simnet.packet import Packet
+from repro.simnet.queueing import DEFAULT_QUEUE_CAPACITY, DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.node import Node
+
+__all__ = ["Port"]
+
+
+class Port:
+    """One interface of a node, permanently attached to one link."""
+
+    def __init__(
+        self,
+        node: "Node",
+        port_index: int,
+        link: Link,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        queue: "DropTailQueue" = None,
+    ) -> None:
+        self.node = node
+        self.port_index = port_index
+        self.link = link
+        # A custom queue discipline (e.g. RedEcnQueue) may be supplied;
+        # default is the BMv2-like drop-tail FIFO.
+        self.queue = queue if queue is not None else DropTailQueue(queue_capacity)
+        self._transmitting = False
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def rate_bps(self) -> float:
+        """Serialization rate of this port's outbound direction."""
+        return self.link.rate_from(self)
+
+    @property
+    def peer(self) -> "Port":
+        return self.link.peer_of(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.node.name}[{self.port_index}] on {self.link.name}>"
+
+    # -- egress path ----------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission.  Returns False on drop-tail."""
+        depth = self.queue.push(packet)
+        if depth is None:
+            self.packets_dropped += 1
+            self.node.on_packet_dropped(packet, self)
+            return False
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        item = self.queue.pop()
+        if item is None:
+            self._transmitting = False
+            return
+        packet, enq_depth = item
+        self._transmitting = True
+        # P4 egress stage: runs as the packet leaves the queue and begins
+        # serialization.  May mutate the packet (probe payload growth).
+        self.node.on_egress(packet, self, enq_depth)
+        tx_time = (packet.size_bytes * 8.0) / self.link.rate_from(self)
+        # Software switches (BMv2) forward with noticeable per-packet service
+        # variance; the node's jitter factor reproduces it.  Mean unchanged.
+        tx_time *= self.node.service_time_factor()
+        sim = self.node.sim
+        sim.schedule(tx_time, self._tx_complete, packet)
+
+    def _tx_complete(self, packet: Packet) -> None:
+        self.packets_sent += 1
+        self.link.record_carried(self, packet.size_bytes)
+        sim = self.node.sim
+        peer = self.peer
+        sim.schedule(self.link.propagation_delay, peer.node.on_ingress, packet, peer)
+        # Serializer is free again: pull the next queued packet, if any.
+        self._start_next()
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._transmitting
+
+    @property
+    def backlog(self) -> int:
+        """Packets waiting behind the one in service."""
+        return self.queue.depth

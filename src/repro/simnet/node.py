@@ -1,0 +1,122 @@
+"""Base node machinery shared by hosts and switches: ports and clocks.
+
+The clock model matters for fidelity: the paper synchronizes BMv2 switches
+with NTP (Section III-C, footnote 1) and attributes the negative-gain tail of
+Fig. 8 to *measurement jitter*.  :class:`Clock` therefore exposes a local
+time reading = simulated time + a fixed offset (residual NTP error) + white
+noise (reading jitter).  Link-latency measurements computed from two
+different clocks inherit exactly the error the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.nic import Port
+from repro.simnet.packet import Packet
+from repro.simnet.queueing import DEFAULT_QUEUE_CAPACITY
+
+__all__ = ["Clock", "Node"]
+
+
+class Clock:
+    """A node-local clock with NTP-style offset and reading jitter."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        offset: float = 0.0,
+        jitter_std: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if jitter_std < 0:
+            raise ValueError(f"jitter_std must be >= 0, got {jitter_std}")
+        if jitter_std > 0 and rng is None:
+            raise ValueError("a jittery clock requires an rng")
+        self._sim = sim
+        self.offset = offset
+        self.jitter_std = jitter_std
+        self._rng = rng
+
+    def read(self) -> float:
+        """Local time: true time + offset + one sample of reading noise."""
+        t = self._sim.now + self.offset
+        if self.jitter_std > 0:
+            assert self._rng is not None
+            t += float(self._rng.normal(0.0, self.jitter_std))
+        return t
+
+
+class Node:
+    """A device with named identity, an address, ports, and a clock.
+
+    Subclasses implement :meth:`on_ingress` (packet arrived from the wire)
+    and may override :meth:`on_egress` (packet leaving an egress queue —
+    where P4 egress stages run).
+    """
+
+    def __init__(self, sim: Simulator, name: str, addr: int, clock: Optional[Clock] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.addr = addr
+        self.clock = clock if clock is not None else Clock(sim)
+        self.ports: List[Port] = []
+        self.packets_received = 0
+        self.packets_dropped = 0
+        # Per-packet service-time variance (software forwarding jitter).
+        # 0.0 = deterministic; j draws each transmission time uniformly from
+        # [1-j, 1+j] x nominal.  Switches get a non-zero default from the
+        # Network builder; hosts stay deterministic.
+        self.service_jitter: float = 0.0
+        self._service_rng: Optional[np.random.Generator] = None
+
+    def set_service_jitter(self, jitter: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"service jitter must be in [0, 1), got {jitter}")
+        self.service_jitter = jitter
+        self._service_rng = rng
+
+    def service_time_factor(self) -> float:
+        """Multiplier applied to one packet's transmission time."""
+        if self.service_jitter <= 0.0:
+            return 1.0
+        assert self._service_rng is not None
+        return 1.0 + self.service_jitter * (2.0 * float(self._service_rng.random()) - 1.0)
+
+    # -- wiring -----------------------------------------------------------
+
+    def add_port(
+        self,
+        link: Link,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        queue=None,
+    ) -> Port:
+        port = Port(self, len(self.ports), link, queue_capacity, queue=queue)
+        self.ports.append(port)
+        return port
+
+    def port(self, index: int) -> Port:
+        try:
+            return self.ports[index]
+        except IndexError:
+            raise TopologyError(f"{self.name}: no port {index}") from None
+
+    # -- data path (subclass responsibilities) ------------------------------
+
+    def on_ingress(self, packet: Packet, in_port: Port) -> None:
+        raise NotImplementedError
+
+    def on_egress(self, packet: Packet, out_port: Port, enq_depth: int) -> None:
+        """Called as ``packet`` leaves ``out_port``'s queue.  Default: no-op
+        (plain hosts have no programmable egress stage)."""
+
+    def on_packet_dropped(self, packet: Packet, port: Port) -> None:
+        self.packets_dropped += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} addr={self.addr} ports={len(self.ports)}>"

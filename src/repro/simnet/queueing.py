@@ -1,0 +1,126 @@
+"""Drop-tail FIFO egress queues with the statistics INT observes.
+
+Each switch/host egress port owns one :class:`DropTailQueue`.  The data-plane
+observable the paper builds on — *queue depth at enqueue time* (BMv2's
+``enq_qdepth``) — is recorded here for every packet and handed to the
+programmable pipeline at egress, where the INT program folds it into the
+per-port max-queue-depth register (Section III-A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.simnet.packet import Packet
+
+__all__ = ["DropTailQueue", "RedEcnQueue", "QueueStats"]
+
+DEFAULT_QUEUE_CAPACITY = 64  # packets; BMv2's default egress queue depth
+
+
+class QueueStats:
+    """Running counters for one egress queue."""
+
+    __slots__ = ("enqueued", "dropped", "dequeued", "max_depth_seen", "bytes_enqueued")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dropped = 0
+        self.dequeued = 0
+        self.max_depth_seen = 0
+        self.bytes_enqueued = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QueueStats enq={self.enqueued} deq={self.dequeued} "
+            f"drop={self.dropped} max_depth={self.max_depth_seen}>"
+        )
+
+
+class DropTailQueue:
+    """Bounded FIFO of ``(packet, depth_at_enqueue)`` pairs.
+
+    ``depth_at_enqueue`` is the number of packets already waiting when this
+    packet arrived — the value a P4 program reads as ``enq_qdepth``.  A packet
+    arriving at an empty queue observes depth 0.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[Tuple[Packet, int]] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        """Current number of queued packets (excluding any in transmission)."""
+        return len(self._items)
+
+    def push(self, packet: Packet) -> Optional[int]:
+        """Enqueue ``packet``.  Returns the depth it observed, or ``None`` if
+        the queue was full and the packet was dropped (drop-tail)."""
+        depth = len(self._items)
+        if depth >= self.capacity:
+            self.stats.dropped += 1
+            return None
+        self._items.append((packet, depth))
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += packet.size_bytes
+        if depth > self.stats.max_depth_seen:
+            self.stats.max_depth_seen = depth
+        return depth
+
+    def pop(self) -> Optional[Tuple[Packet, int]]:
+        """Dequeue the head-of-line packet with its enqueue-time depth, or
+        ``None`` when empty."""
+        if not self._items:
+            return None
+        self.stats.dequeued += 1
+        return self._items.popleft()
+
+    def clear(self) -> int:
+        """Drop everything queued; returns the number of packets discarded."""
+        n = len(self._items)
+        self._items.clear()
+        return n
+
+
+class RedEcnQueue(DropTailQueue):
+    """Drop-tail queue with threshold-based ECN marking.
+
+    Packets enqueued while the depth is at or above ``mark_threshold`` get
+    the congestion-experienced flag instead of being dropped (drops still
+    happen at full capacity).  A simplified RED: deterministic marking above
+    one threshold — enough to study ECN-reacting transports against the
+    paper's loss-driven baseline.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_QUEUE_CAPACITY,
+        *,
+        mark_threshold: Optional[int] = None,
+    ) -> None:
+        super().__init__(capacity)
+        if mark_threshold is None:
+            mark_threshold = max(1, capacity // 4)
+        if not 1 <= mark_threshold <= capacity:
+            raise ValueError(
+                f"mark_threshold must be in [1, {capacity}], got {mark_threshold}"
+            )
+        self.mark_threshold = mark_threshold
+        self.marked = 0
+
+    def push(self, packet: Packet) -> Optional[int]:
+        depth = super().push(packet)
+        if depth is not None and depth >= self.mark_threshold:
+            from repro.simnet.packet import FLAG_ECN  # local import: no cycle
+
+            packet.flags |= FLAG_ECN
+            self.marked += 1
+        return depth

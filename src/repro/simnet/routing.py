@@ -1,0 +1,107 @@
+"""Static shortest-path routing and forwarding-table installation.
+
+The paper's testbed uses static routes installed into the BMv2 forwarding
+tables by a control script; likewise here.  Routes are shortest paths by
+propagation delay with deterministic lexicographic tie-breaking, so two runs
+of the same topology always install identical tables.
+
+Only switches get forwarding tables (hosts are single-homed and always emit
+through port 0), and routes never transit a host: hosts are removed from the
+routing graph except as path endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.errors import RoutingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.topology import Network
+
+__all__ = ["shortest_path", "compute_routes", "install_all_routes"]
+
+
+def _routing_weight(g: nx.Graph, u: str, v: str) -> float:
+    return float(g.edges[u, v]["delay"])
+
+
+def shortest_path(g: nx.Graph, src: str, dst: str) -> List[str]:
+    """Delay-weighted shortest path with lexicographic tie-breaking, never
+    transiting a host node."""
+    if src not in g or dst not in g:
+        raise RoutingError(f"unknown endpoint in ({src!r}, {dst!r})")
+    if src == dst:
+        return [src]
+    # Prune other hosts so they cannot be used as transit.
+    keep = {n for n, d in g.nodes(data=True) if d.get("kind") != "host"} | {src, dst}
+    sub = g.subgraph(keep)
+    try:
+        # Tie-break deterministically: Dijkstra over neighbors in sorted order.
+        dist, paths = nx.single_source_dijkstra(sub, src, weight="delay")
+    except nx.NetworkXNoPath:  # pragma: no cover - defensive
+        raise RoutingError(f"no path from {src!r} to {dst!r}") from None
+    if dst not in paths:
+        raise RoutingError(f"no path from {src!r} to {dst!r}")
+    # networkx Dijkstra's tie-breaking depends on heap order; normalize by
+    # recomputing with an explicit lexicographic secondary criterion.
+    return _lexicographic_shortest_path(sub, src, dst)
+
+
+def _lexicographic_shortest_path(g: nx.Graph, src: str, dst: str) -> List[str]:
+    """Dijkstra where among equal-cost paths the lexicographically smallest
+    node sequence wins.  O(E log V) with tuple-compared labels."""
+    import heapq
+
+    best: Dict[str, tuple] = {}
+    heap: list = [((0.0, (src,)), src)]
+    while heap:
+        (cost, path), u = heapq.heappop(heap)
+        if u in best:
+            continue
+        best[u] = (cost, path)
+        if u == dst:
+            return list(path)
+        for v in sorted(g.neighbors(u)):
+            if v in best:
+                continue
+            w = _routing_weight(g, u, v)
+            heapq.heappush(heap, ((cost + w, path + (v,)), v))
+    raise RoutingError(f"no path from {src!r} to {dst!r}")
+
+
+def compute_routes(network: "Network") -> Dict[str, Dict[str, str]]:
+    """For every switch, the next-hop node toward every host destination.
+
+    Returns ``{switch_name: {dst_host_name: next_hop_name}}``.
+    """
+    g = network.graph()
+    routes: Dict[str, Dict[str, str]] = {sw: {} for sw in network.switches}
+    for dst in network.hosts:
+        for sw in network.switches:
+            path = shortest_path(g, sw, dst)
+            if len(path) < 2:
+                raise RoutingError(f"degenerate path from {sw!r} to {dst!r}")
+            routes[sw][dst] = path[1]
+    return routes
+
+
+def install_all_routes(network: "Network") -> None:
+    """Populate every switch's forwarding table from :func:`compute_routes`."""
+    routes = compute_routes(network)
+    for sw_name, table in routes.items():
+        switch = network.switch(sw_name)
+        program = switch.program
+        if program is None:
+            raise RoutingError(f"switch {sw_name!r} has no program to install routes into")
+        install = getattr(program, "install_route", None)
+        if install is None:
+            raise RoutingError(
+                f"switch {sw_name!r} program {type(program).__name__} lacks install_route"
+            )
+        for dst_host, next_hop in table.items():
+            dst_addr = network.address_of(dst_host)
+            port_index = network.port_toward(sw_name, next_hop)
+            install(dst_addr, port_index)

@@ -1,0 +1,72 @@
+"""Switches: nodes that run a programmable data-plane pipeline.
+
+A :class:`Switch` delegates every forwarding decision to its bound
+:class:`~repro.p4.pipeline.P4Program`:
+
+* packet arrival -> ``program.process_ingress`` (parser + ingress control);
+* packet leaving an egress queue -> ``program.process_egress`` (parser +
+  egress control + deparser), with the queue depth the packet observed at
+  enqueue time — the BMv2 ``enq_qdepth`` intrinsic the INT program records.
+
+The program is bound *after* the topology is wired (``Network.finalize``),
+because programs size per-port resources (the INT registers) from the final
+port count.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import DataPlaneError
+from repro.simnet.engine import Simulator
+from repro.simnet.nic import Port
+from repro.simnet.node import Clock, Node
+from repro.simnet.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.p4.pipeline import P4Program
+
+__all__ = ["Switch"]
+
+
+class Switch(Node):
+    """A store-and-forward switch with a P4-style pipeline."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        addr: int,
+        switch_id: int,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        super().__init__(sim, name, addr, clock)
+        self.switch_id = switch_id
+        self.program: Optional["P4Program"] = None
+        self.packets_forwarded = 0
+        self.packets_dropped_pipeline = 0
+
+    def bind_program(self, program: "P4Program") -> None:
+        if self.program is not None:
+            raise DataPlaneError(f"switch {self.name} already has a program")
+        self.program = program
+        program.bind(self)
+
+    # -- data path ----------------------------------------------------------
+
+    def on_ingress(self, packet: Packet, in_port: Port) -> None:
+        self.packets_received += 1
+        if self.program is None:
+            raise DataPlaneError(f"switch {self.name} has no data-plane program")
+        ctx = self.program.process_ingress(packet, in_port.port_index)
+        if ctx.dropped:
+            self.packets_dropped_pipeline += 1
+            return
+        assert ctx.egress_port is not None
+        packet.hop_count += 1
+        self.packets_forwarded += 1
+        self.port(ctx.egress_port).send(packet)
+
+    def on_egress(self, packet: Packet, out_port: Port, enq_depth: int) -> None:
+        assert self.program is not None
+        self.program.process_egress(packet, out_port.port_index, enq_depth)

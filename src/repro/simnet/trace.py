@@ -1,0 +1,143 @@
+"""Packet-path tracing — the simulator's tcpdump.
+
+A :class:`PacketTracer` hooks a set of nodes and records hop events
+(ingress/egress/drop) for packets matching a predicate.  Used for debugging
+experiments ("why did this transfer stall?"), for validating routing in
+tests, and by the trace-driven analysis helpers.
+
+The hooks wrap ``on_ingress``/``on_egress``/``on_packet_dropped`` of the
+node instances, so tracing can be attached to a live network without
+touching the classes; :meth:`PacketTracer.detach` restores the originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.simnet.node import Node
+from repro.simnet.packet import Packet
+
+__all__ = ["HopEvent", "PacketTracer", "flow_predicate", "probe_predicate"]
+
+
+@dataclass(frozen=True)
+class HopEvent:
+    """One observation of a packet at a node."""
+
+    time: float
+    node: str
+    kind: str          # "ingress" | "egress" | "drop"
+    packet_id: int
+    flow_id: int
+    seq: int
+    size_bytes: int
+    enq_depth: Optional[int] = None   # egress events only
+
+
+def flow_predicate(flow_id: int) -> Callable[[Packet], bool]:
+    """Match one flow's packets."""
+    return lambda packet: packet.flow_id == flow_id
+
+
+def probe_predicate(packet: Packet) -> bool:
+    """Match INT probes."""
+    return packet.is_probe
+
+
+class PacketTracer:
+    """Records matching packets' hop events across the attached nodes."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        *,
+        predicate: Optional[Callable[[Packet], bool]] = None,
+        max_events: int = 100_000,
+    ) -> None:
+        self.predicate = predicate if predicate is not None else (lambda p: True)
+        self.max_events = max_events
+        self.events: List[HopEvent] = []
+        self.truncated = False
+        self._originals: Dict[Node, tuple] = {}
+        for node in nodes:
+            self._attach(node)
+
+    # -- wiring -----------------------------------------------------------
+
+    def _attach(self, node: Node) -> None:
+        orig_ingress = node.on_ingress
+        orig_egress = node.on_egress
+        orig_drop = node.on_packet_dropped
+        self._originals[node] = (orig_ingress, orig_egress, orig_drop)
+        tracer = self
+
+        def traced_ingress(packet, port, _orig=orig_ingress, _node=node):
+            tracer._record(_node, "ingress", packet)
+            _orig(packet, port)
+
+        def traced_egress(packet, port, enq_depth, _orig=orig_egress, _node=node):
+            tracer._record(_node, "egress", packet, enq_depth)
+            _orig(packet, port, enq_depth)
+
+        def traced_drop(packet, port, _orig=orig_drop, _node=node):
+            tracer._record(_node, "drop", packet)
+            _orig(packet, port)
+
+        node.on_ingress = traced_ingress
+        node.on_egress = traced_egress
+        node.on_packet_dropped = traced_drop
+
+    def detach(self) -> None:
+        """Restore the original handlers on every attached node."""
+        for node, (ingress, egress, drop) in self._originals.items():
+            node.on_ingress = ingress
+            node.on_egress = egress
+            node.on_packet_dropped = drop
+        self._originals.clear()
+
+    # -- recording ----------------------------------------------------------
+
+    def _record(self, node: Node, kind: str, packet: Packet, enq_depth=None) -> None:
+        if not self.predicate(packet):
+            return
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(
+            HopEvent(
+                time=node.sim.now,
+                node=node.name,
+                kind=kind,
+                packet_id=packet.packet_id,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                size_bytes=packet.size_bytes,
+                enq_depth=enq_depth,
+            )
+        )
+
+    # -- analysis -----------------------------------------------------------
+
+    def path_of(self, packet_id: int) -> List[str]:
+        """Node names a packet visited, in order (ingress events)."""
+        return [
+            e.node for e in self.events
+            if e.packet_id == packet_id and e.kind == "ingress"
+        ]
+
+    def drops(self) -> List[HopEvent]:
+        return [e for e in self.events if e.kind == "drop"]
+
+    def events_for_flow(self, flow_id: int) -> List[HopEvent]:
+        return [e for e in self.events if e.flow_id == flow_id]
+
+    def one_way_delay(self, packet_id: int) -> Optional[float]:
+        """First-egress to last-ingress time for one packet, or None."""
+        times = [e.time for e in self.events if e.packet_id == packet_id]
+        if len(times) < 2:
+            return None
+        return max(times) - min(times)
+
+    def __len__(self) -> int:
+        return len(self.events)

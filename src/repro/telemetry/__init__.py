@@ -1,0 +1,32 @@
+"""INT collection framework: probe generation and report collection.
+
+Implements the paper's Section III-A collection scheme: telemetry lives in
+switch registers, and periodic probe packets (default every 100 ms) pick the
+registers up and reset them.  Two probing layouts are supported:
+
+* ``star`` — every node probes the scheduler, exactly the paper's setup
+  (Fig. 1, step 1).  Coverage is limited to the directions of node→scheduler
+  paths; the paper explicitly assumes these cover every device and leaves
+  probe route optimization as future work.
+* ``mesh`` — every node probes every other node; receiving nodes forward the
+  collected INT stack to the scheduler in a small report packet.  A probe
+  from *i* to *j* traverses exactly the route task data from *i* to *j*
+  takes, so mesh probing guarantees the coverage the paper assumes.  The
+  coverage ablation benchmark compares the two.
+"""
+
+from repro.telemetry.adaptive import AdaptiveProbingController, ProbeRateListener
+from repro.telemetry.collector import IntCollector
+from repro.telemetry.coverage import greedy_probe_cover
+from repro.telemetry.probe import ProbeResponder, ProbeSender
+from repro.telemetry.records import ProbeReport
+
+__all__ = [
+    "AdaptiveProbingController",
+    "ProbeRateListener",
+    "IntCollector",
+    "greedy_probe_cover",
+    "ProbeResponder",
+    "ProbeSender",
+    "ProbeReport",
+]

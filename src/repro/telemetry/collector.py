@@ -1,0 +1,94 @@
+"""The INT collector running on the scheduler node (Fig. 1, step 2).
+
+Decodes probe payloads into :class:`~repro.telemetry.records.ProbeReport`
+objects and fans them out to subscribers — in practice the scheduler core's
+:class:`~repro.core.telemetry_store.TelemetryStore`.  Also accepts the
+wrapped reports that remote probe responders forward in mesh-probing mode.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import PacketError, TelemetryError
+from repro.p4.headers import decode_probe_payload
+from repro.simnet.addressing import PROTO_UDP
+from repro.simnet.host import Host
+from repro.simnet.packet import Packet
+from repro.telemetry.probe import PORT_PROBE_REPORT
+from repro.telemetry.records import ProbeReport
+
+__all__ = ["IntCollector"]
+
+ReportSubscriber = Callable[[ProbeReport], None]
+
+
+class IntCollector:
+    """Probe decoding and distribution at the scheduler."""
+
+    def __init__(self, host: Host) -> None:
+        self.host = host
+        self._subscribers: List[ReportSubscriber] = []
+        self.reports_ingested = 0
+        self.reports_malformed = 0
+        self.last_report: Optional[ProbeReport] = None
+        host.bind(PROTO_UDP, PORT_PROBE_REPORT, self._on_wrapped_report)
+
+    def subscribe(self, fn: ReportSubscriber) -> None:
+        self._subscribers.append(fn)
+
+    # -- ingestion entry points ---------------------------------------------
+
+    def ingest_probe(
+        self,
+        *,
+        probe_src: int,
+        probe_dst: int,
+        seq: int,
+        sent_at: float,
+        received_at: float,
+        payload: bytes,
+        final_link_latency: Optional[float],
+    ) -> Optional[ProbeReport]:
+        """Decode one probe payload and publish the report.  Malformed
+        payloads are counted and dropped, as a hardened collector would."""
+        try:
+            records = decode_probe_payload(payload)
+        except PacketError:
+            self.reports_malformed += 1
+            return None
+        report = ProbeReport(
+            probe_src=probe_src,
+            probe_dst=probe_dst,
+            seq=seq,
+            sent_at=sent_at,
+            received_at=received_at,
+            records=records,
+            final_link_latency=final_link_latency,
+            collected_at=self.host.sim.now,
+        )
+        self.reports_ingested += 1
+        self.last_report = report
+        for fn in self._subscribers:
+            fn(report)
+        return report
+
+    def _on_wrapped_report(self, packet: Packet) -> None:
+        """Mesh-mode path: a remote responder forwarded a probe's contents."""
+        msg = packet.message
+        if not (isinstance(msg, tuple) and len(msg) == 7):
+            self.reports_malformed += 1
+            return
+        probe_src, probe_dst, seq, sent_at, received_at, payload, final_latency = msg
+        if not isinstance(payload, (bytes, bytearray)):
+            self.reports_malformed += 1
+            return
+        self.ingest_probe(
+            probe_src=probe_src,
+            probe_dst=probe_dst,
+            seq=seq,
+            sent_at=sent_at,
+            received_at=received_at,
+            payload=bytes(payload),
+            final_link_latency=final_latency,
+        )

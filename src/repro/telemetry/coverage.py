@@ -1,0 +1,121 @@
+"""Probe route optimization — Section III-A's deferred future work.
+
+"While it is possible that probe packets may not travel all devices
+depending on network topology and edge server distribution in the network,
+we leave route selection optimization for probe packets as a future work
+and assume that the probe packets visit each device at least once."
+
+This module drops the assumption.  Given the physical topology (a
+control-plane input, like the routing configuration), it computes which
+*directed switch egress ports* a probe between two hosts collects, and
+greedily selects a small set of probe (source, destination) pairs whose
+union covers every port that matters — classic weighted set cover, solved
+with the standard ln(n)-approximation greedy.
+
+Compared to the naive layouts:
+
+* ``star`` (paper): n-1 pairs, partial coverage;
+* ``mesh``: n(n-1) pairs, full coverage, maximal overhead;
+* ``greedy_probe_cover``: full coverage with close-to-minimal pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TelemetryError
+from repro.simnet.topology import Network
+
+__all__ = [
+    "DirectedPort",
+    "ports_covered_by_pair",
+    "all_fabric_ports",
+    "coverage_of",
+    "greedy_probe_cover",
+]
+
+# The egress of `node` toward `neighbor` — the unit of INT visibility.
+DirectedPort = Tuple[str, str]
+
+
+def ports_covered_by_pair(network: Network, src: str, dst: str) -> FrozenSet[DirectedPort]:
+    """Directed switch egress ports a probe from ``src`` to ``dst`` collects.
+
+    A probe collects the register of each switch it leaves, for the port it
+    leaves through — i.e. every (switch, next-hop) along the routed path."""
+    path = network.shortest_path(src, dst)
+    covered: Set[DirectedPort] = set()
+    for u, v in zip(path, path[1:]):
+        if u in network.switches:
+            covered.add((u, v))
+    return frozenset(covered)
+
+
+def all_fabric_ports(network: Network) -> Set[DirectedPort]:
+    """Every directed switch egress port in the network."""
+    ports: Set[DirectedPort] = set()
+    for sw_name, switch in network.switches.items():
+        for port in switch.ports:
+            ports.add((sw_name, port.peer.node.name))
+    return ports
+
+
+def coverage_of(
+    network: Network, pairs: Iterable[Tuple[str, str]]
+) -> Set[DirectedPort]:
+    """Union of ports covered by a set of probe pairs."""
+    covered: Set[DirectedPort] = set()
+    for src, dst in pairs:
+        covered |= ports_covered_by_pair(network, src, dst)
+    return covered
+
+
+def greedy_probe_cover(
+    network: Network,
+    *,
+    sources: Optional[Sequence[str]] = None,
+    required: Optional[Set[DirectedPort]] = None,
+) -> List[Tuple[str, str]]:
+    """Select probe pairs covering ``required`` ports (default: all fabric
+    ports reachable by host-to-host probes).
+
+    Greedy set cover: repeatedly pick the pair covering the most still-
+    uncovered ports; ties break lexicographically for determinism.  Raises
+    :class:`TelemetryError` if some required port is unreachable by any
+    host-pair probe (e.g. a port on a link no route uses)."""
+    hosts = sorted(sources) if sources is not None else sorted(network.hosts)
+    if len(hosts) < 2:
+        raise TelemetryError("need at least two probe-capable hosts")
+
+    candidates: Dict[Tuple[str, str], FrozenSet[DirectedPort]] = {}
+    for src in hosts:
+        for dst in hosts:
+            if src != dst:
+                candidates[(src, dst)] = ports_covered_by_pair(network, src, dst)
+
+    reachable: Set[DirectedPort] = set()
+    for ports in candidates.values():
+        reachable |= ports
+    if required is None:
+        required = set(reachable)
+    unreachable = required - reachable
+    if unreachable:
+        raise TelemetryError(
+            f"{len(unreachable)} required ports unreachable by host-pair probes, "
+            f"e.g. {sorted(unreachable)[:3]}"
+        )
+
+    chosen: List[Tuple[str, str]] = []
+    uncovered = set(required)
+    while uncovered:
+        best_pair = min(
+            candidates,
+            key=lambda pair: (-len(candidates[pair] & uncovered), pair),
+        )
+        gain = candidates[best_pair] & uncovered
+        if not gain:  # pragma: no cover - guarded by the reachability check
+            raise TelemetryError("greedy cover stalled")
+        chosen.append(best_pair)
+        uncovered -= gain
+        del candidates[best_pair]
+    return chosen

@@ -1,0 +1,100 @@
+"""Algorithm 1 and bandwidth ranking."""
+
+import math
+
+import pytest
+
+from repro.core.estimators import BandwidthEstimator, DelayEstimator
+from repro.core.ranking import rank_by_bandwidth, rank_by_delay
+from repro.core.telemetry_store import TelemetryStore
+from repro.p4.headers import IntHopRecord
+from repro.telemetry.records import ProbeReport, host_node, switch_node
+from repro.units import mbps
+
+H = host_node
+S = switch_node
+
+
+@pytest.fixture
+def store(sim):
+    """Star: h1 can reach h2 (via s1-s2), h3 (via s1-s3); s1->s2 congested."""
+    store = TelemetryStore(sim)
+
+    def feed(dst_host, via_switch, qdepth):
+        records = [
+            IntHopRecord(switch_id=1, egress_port=via_switch, max_qdepth=qdepth,
+                         link_latency=0.010, egress_ts=0.0),
+            IntHopRecord(switch_id=via_switch, egress_port=0, max_qdepth=0,
+                         link_latency=0.010, egress_ts=0.0),
+        ]
+        store.update(ProbeReport(
+            probe_src=1, probe_dst=dst_host, seq=0, sent_at=0.0, received_at=0.0,
+            records=records, final_link_latency=0.010,
+        ))
+
+    feed(dst_host=2, via_switch=2, qdepth=20)  # path to h2 congested
+    feed(dst_host=3, via_switch=3, qdepth=0)   # path to h3 clean
+    return store
+
+
+def test_delay_ranking_prefers_uncongested(sim, store):
+    est = DelayEstimator(store, k=0.020)
+    ranked = rank_by_delay(est, H(1))
+    assert [n for n, _ in ranked] == [H(3), H(2)]
+    # h3: 3 x 10 ms; h2: 3 x 10 ms + 20 pkts x 20 ms.
+    assert ranked[0][1] == pytest.approx(0.030)
+    assert ranked[1][1] == pytest.approx(0.030 + 0.4)
+
+
+def test_bandwidth_ranking_prefers_uncongested(sim, store):
+    est = BandwidthEstimator(store, link_capacity_bps=mbps(20))
+    ranked = rank_by_bandwidth(est, H(1))
+    assert [n for n, _ in ranked] == [H(3), H(2)]
+    assert ranked[0][1] == pytest.approx(mbps(20))
+    assert ranked[1][1] < mbps(20)
+
+
+def test_origin_excluded(sim, store):
+    est = DelayEstimator(store)
+    ranked = rank_by_delay(est, H(1), candidates=[H(1), H(2), H(3)])
+    assert H(1) not in [n for n, _ in ranked]
+
+
+def test_unknown_candidate_ranked_last_with_inf(sim, store):
+    est = DelayEstimator(store)
+    ranked = rank_by_delay(est, H(1), candidates=[H(2), H(3), H(99)])
+    assert ranked[-1] == (H(99), math.inf)
+
+
+def test_unknown_candidate_bandwidth_zero(sim, store):
+    est = BandwidthEstimator(store, link_capacity_bps=mbps(20))
+    ranked = rank_by_bandwidth(est, H(1), candidates=[H(2), H(3), H(99)])
+    assert ranked[-1] == (H(99), 0.0)
+
+
+def test_default_candidates_from_topology(sim, store):
+    est = DelayEstimator(store)
+    ranked = rank_by_delay(est, H(1))
+    assert {n for n, _ in ranked} == {H(2), H(3)}
+
+
+def test_tie_breaks_by_node_id(sim):
+    """Identical telemetry for two candidates: smaller host address first."""
+    store = TelemetryStore(sim)
+    for dst in (5, 4):
+        records = [IntHopRecord(switch_id=1, egress_port=dst, max_qdepth=0,
+                                link_latency=0.010, egress_ts=0.0)]
+        store.update(ProbeReport(
+            probe_src=1, probe_dst=dst, seq=0, sent_at=0.0, received_at=0.0,
+            records=records, final_link_latency=0.010,
+        ))
+    delay_ranked = rank_by_delay(DelayEstimator(store), H(1))
+    bw_ranked = rank_by_bandwidth(BandwidthEstimator(store, link_capacity_bps=1e6), H(1))
+    assert [n for n, _ in delay_ranked] == [H(4), H(5)]
+    assert [n for n, _ in bw_ranked] == [H(4), H(5)]
+
+
+def test_ranking_respects_explicit_candidates(sim, store):
+    est = DelayEstimator(store)
+    ranked = rank_by_delay(est, H(1), candidates=[H(2)])
+    assert [n for n, _ in ranked] == [H(2)]

@@ -1,0 +1,110 @@
+"""Telemetry store: latency smoothing, windowed max queue, staleness."""
+
+import pytest
+
+from repro.core.telemetry_store import TelemetryStore
+from repro.p4.headers import IntHopRecord
+from repro.simnet.engine import Simulator
+from repro.telemetry.records import ProbeReport, host_node, switch_node
+
+H = host_node
+S = switch_node
+
+
+def _report(qdepth=0, latency=0.010, seq=0):
+    records = [
+        IntHopRecord(switch_id=1, egress_port=1, max_qdepth=qdepth, link_latency=latency, egress_ts=0.0)
+    ]
+    return ProbeReport(
+        probe_src=10, probe_dst=20, seq=seq, sent_at=0.0, received_at=0.0,
+        records=records, final_link_latency=latency,
+    )
+
+
+@pytest.fixture
+def store(sim):
+    return TelemetryStore(sim, staleness=2.0, qdepth_window=0.1)
+
+
+def _advance(sim, dt):
+    sim.schedule(dt, lambda: None)
+    sim.run()
+
+
+class TestLatency:
+    def test_first_sample_sets_ewma(self, sim, store):
+        store.update(_report(latency=0.012))
+        assert store.link_delay(H(10), S(1)) == pytest.approx(0.012)
+
+    def test_ewma_smoothing(self, sim, store):
+        store.update(_report(latency=0.010))
+        store.update(_report(latency=0.020))
+        # alpha = 0.3: 0.3*0.020 + 0.7*0.010 = 0.013
+        assert store.link_delay(H(10), S(1)) == pytest.approx(0.013)
+
+    def test_default_when_unknown(self, sim, store):
+        assert store.link_delay(S(5), S(6), default=0.042) == 0.042
+
+    def test_stale_latency_returns_default(self, sim, store):
+        store.update(_report(latency=0.010))
+        _advance(sim, 3.0)  # beyond staleness=2.0
+        assert store.link_delay(H(10), S(1), default=0.099) == 0.099
+
+    def test_final_link_latency_recorded(self, sim, store):
+        store.update(_report(latency=0.010))
+        assert store.link_delay(S(1), H(20)) == pytest.approx(0.010)
+
+
+class TestQdepth:
+    def test_reading_recorded(self, sim, store):
+        store.update(_report(qdepth=12))
+        assert store.max_qdepth(S(1), H(20)) == 12
+
+    def test_windowed_max_keeps_larger_reading(self, sim, store):
+        """A second probe microseconds later reads the reset register (0);
+        the store must not let it mask the real reading."""
+        store.update(_report(qdepth=15))
+        store.update(_report(qdepth=0))
+        assert store.max_qdepth(S(1), H(20)) == 15
+
+    def test_new_window_replaces_value(self, sim, store):
+        store.update(_report(qdepth=15))
+        _advance(sim, 0.2)  # past qdepth_window=0.1
+        store.update(_report(qdepth=3))
+        assert store.max_qdepth(S(1), H(20)) == 3
+
+    def test_larger_value_always_wins_within_window(self, sim, store):
+        store.update(_report(qdepth=3))
+        store.update(_report(qdepth=9))
+        assert store.max_qdepth(S(1), H(20)) == 9
+
+    def test_stale_qdepth_reads_zero(self, sim, store):
+        store.update(_report(qdepth=20))
+        _advance(sim, 3.0)
+        assert store.max_qdepth(S(1), H(20)) == 0
+
+    def test_unknown_link_reads_zero(self, sim, store):
+        assert store.max_qdepth(S(9), S(8)) == 0
+
+
+class TestTopologyIntegration:
+    def test_update_learns_topology(self, sim, store):
+        store.update(_report())
+        assert store.topology.has_edge(H(10), S(1))
+        assert store.topology.has_edge(S(1), H(20))
+
+    def test_reports_counted(self, sim, store):
+        store.update(_report(seq=1))
+        store.update(_report(seq=2))
+        assert store.reports_processed == 2
+
+    def test_link_state_inspection(self, sim, store):
+        store.update(_report(qdepth=4, latency=0.011))
+        state = store.link_state(S(1), H(20))
+        assert state.max_qdepth == 4
+        assert store.link_state(S(9), S(8)) is None
+
+    def test_known_link_count(self, sim, store):
+        store.update(_report())
+        # h10->s1 (latency only) and s1->h20 (latency + qdepth).
+        assert store.known_link_count() == 2

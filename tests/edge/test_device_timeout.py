@@ -1,0 +1,82 @@
+"""Device-side task timeouts."""
+
+import pytest
+
+from repro.core.baselines import NearestScheduler
+from repro.edge.device import EdgeDevice
+from repro.edge.metrics import MetricsCollector
+from repro.edge.server import EdgeServer
+from repro.edge.task import Job, SizeClass, Task
+from repro.errors import WorkloadError
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.units import kb
+
+
+def _task(exec_time=0.2):
+    return Task(job_id=0, size_class=SizeClass.VS, data_bytes=kb(20), exec_time=exec_time)
+
+
+@pytest.fixture
+def fig4(sim, streams):
+    return build_fig4_network(sim, streams)
+
+
+def _scheduler(fig4):
+    net = fig4.network
+    worker_addrs = [net.address_of(n) for n in fig4.worker_names]
+    NearestScheduler(net.host(fig4.scheduler_name), worker_addrs, net)
+
+
+def test_timeout_validation(sim, fig4):
+    with pytest.raises(WorkloadError):
+        EdgeDevice(
+            fig4.network.host("node1"), fig4.scheduler_addr, MetricsCollector(),
+            task_timeout=0.0,
+        )
+
+
+def test_task_without_server_times_out(sim, fig4):
+    """No EdgeServer anywhere: the upload is absorbed by nothing, no result
+    ever returns, and the timeout converts the task to a terminal failure."""
+    _scheduler(fig4)
+    metrics = MetricsCollector()
+    done = []
+    device = EdgeDevice(
+        fig4.network.host("node1"), fig4.scheduler_addr, metrics,
+        task_timeout=20.0, on_job_done=done.append,
+    )
+    device.submit_job(Job(device_name="node1", workload="serverless", tasks=[_task()]))
+    sim.run(until=60.0)
+    record = metrics.records[0]
+    assert record.failed
+    assert device.tasks_timed_out == 1
+    assert len(done) == 1  # the job completes (as failed), not hangs
+    assert metrics.all_done()
+
+
+def test_fast_task_not_timed_out(sim, fig4):
+    _scheduler(fig4)
+    for name in fig4.worker_names:
+        if name != "node1":
+            EdgeServer(fig4.network.host(name))
+    metrics = MetricsCollector()
+    device = EdgeDevice(
+        fig4.network.host("node1"), fig4.scheduler_addr, metrics,
+        task_timeout=60.0,
+    )
+    device.submit_job(Job(device_name="node1", workload="serverless", tasks=[_task()]))
+    sim.run(until=120.0)
+    record = metrics.records[0]
+    assert record.complete
+    assert device.tasks_timed_out == 0
+
+
+def test_timeout_disabled_by_default(sim, fig4):
+    _scheduler(fig4)
+    metrics = MetricsCollector()
+    device = EdgeDevice(fig4.network.host("node1"), fig4.scheduler_addr, metrics)
+    device.submit_job(Job(device_name="node1", workload="serverless", tasks=[_task()]))
+    sim.run(until=120.0)  # no servers: task stays pending forever
+    record = metrics.records[0]
+    assert not record.failed
+    assert record.result_received_at is None

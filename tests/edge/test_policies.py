@@ -1,0 +1,96 @@
+"""Device-side selection policies and the raw scheduler mode."""
+
+import pytest
+
+from repro.core.scheduler import METRIC_RAW, NetworkAwareScheduler
+from repro.edge.policies import min_completion_time, top_k
+from repro.edge.task import Job, SizeClass, Task
+from repro.errors import SchedulingError
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.telemetry.probe import ProbeResponder, ProbeSender
+from repro.units import kb, mb, mbps
+
+
+def _job(n_tasks=3, data=kb(100)):
+    if isinstance(data, int):
+        data = [data] * n_tasks
+    tasks = [
+        Task(job_id=0, size_class=SizeClass.S, data_bytes=d, exec_time=1.0)
+        for d in data
+    ]
+    return Job(device_name="node1", workload="distributed", tasks=tasks)
+
+
+class TestTopK:
+    def test_assigns_best_first(self):
+        ranking = [(10, 0.1), (20, 0.2), (30, 0.3)]
+        assert top_k(_job(2), ranking) == [10, 20]
+
+    def test_wraps_when_short(self):
+        ranking = [(10, 0.1), (20, 0.2)]
+        assert top_k(_job(3), ranking) == [10, 20, 10]
+
+    def test_empty_ranking_rejected(self):
+        with pytest.raises(SchedulingError):
+            top_k(_job(1), [])
+
+
+class TestMinCompletionTime:
+    def test_requires_raw_values(self):
+        with pytest.raises(SchedulingError):
+            min_completion_time(_job(1), [(10, 0.5)])
+
+    def test_small_task_takes_low_delay_server(self):
+        # Server 10: low delay, poor bandwidth.  Server 20: the reverse.
+        ranking = [(10, (0.010, mbps(1))), (20, (0.100, mbps(20)))]
+        job = _job(1, data=[kb(1)])  # 1 KB: delay dominates
+        assert min_completion_time(job, ranking) == [10]
+
+    def test_large_task_takes_high_bandwidth_server(self):
+        ranking = [(10, (0.010, mbps(1))), (20, (0.100, mbps(20)))]
+        job = _job(1, data=[mb(5)])  # 5 MB: bandwidth dominates
+        assert min_completion_time(job, ranking) == [20]
+
+    def test_largest_task_gets_best_pipe(self):
+        ranking = [(10, (0.010, mbps(20))), (20, (0.010, mbps(5)))]
+        job = _job(2, data=[kb(10), mb(5)])  # small first, huge second
+        assignment = min_completion_time(job, ranking)
+        assert assignment[1] == 10  # the 5 MB task got the 20 Mb/s server
+        assert assignment[0] == 20  # distinct servers
+
+    def test_pool_reuse_when_more_tasks_than_servers(self):
+        ranking = [(10, (0.010, mbps(20)))]
+        job = _job(3, data=[kb(10)] * 3)
+        assert min_completion_time(job, ranking) == [10, 10, 10]
+
+    def test_zero_bandwidth_server_avoided(self):
+        ranking = [(10, (0.001, 0.0)), (20, (0.5, mbps(10)))]
+        job = _job(1, data=[kb(100)])
+        assert min_completion_time(job, ranking) == [20]
+
+
+class TestRawMetricEndToEnd:
+    def test_raw_ranking_carries_both_estimates(self, sim, streams):
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        worker_addrs = [net.address_of(n) for n in topo.worker_names]
+        sched = NetworkAwareScheduler(
+            net.host(topo.scheduler_name), worker_addrs,
+            link_capacity_bps=topo.fabric_rate_bps,
+        )
+        all_addrs = [net.address_of(n) for n in topo.node_names]
+        for name in topo.node_names:
+            host = net.host(name)
+            if name == topo.scheduler_name:
+                ProbeResponder(host, collector=sched.collector)
+            else:
+                ProbeResponder(host, collector_addr=topo.scheduler_addr)
+            ProbeSender(host, [a for a in all_addrs if a != host.addr], probe_size=256).start()
+        sim.run(until=1.0)
+        ranking = sched.rank(net.address_of("node7"), METRIC_RAW)
+        assert len(ranking) == 6
+        addrs = [a for a, _ in ranking]
+        assert addrs == sorted(addrs)  # unsorted mode: address order
+        for _addr, (delay, bandwidth) in ranking:
+            assert 0 < delay < 1.0
+            assert 0 < bandwidth <= topo.fabric_rate_bps

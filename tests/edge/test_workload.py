@@ -1,0 +1,98 @@
+"""Workload plans: determinism, pairing, job/task accounting."""
+
+import pytest
+
+from repro.edge.task import SizeClass
+from repro.edge.workload import (
+    WORKLOAD_DISTRIBUTED,
+    WORKLOAD_SERVERLESS,
+    WorkloadSpec,
+    build_plan,
+)
+from repro.errors import WorkloadError
+from repro.simnet.random import RandomStreams
+
+
+DEVICES = ["node1", "node2", "node3"]
+
+
+def _spec(**kw):
+    base = dict(
+        workload=WORKLOAD_SERVERLESS,
+        size_class=SizeClass.S,
+        total_tasks=20,
+        mean_interarrival=1.0,
+    )
+    base.update(kw)
+    return WorkloadSpec(**base)
+
+
+class TestSpec:
+    def test_serverless_one_task_per_job(self):
+        assert _spec().tasks_per_job == 1
+        assert _spec().num_jobs == 20
+
+    def test_distributed_three_tasks_per_job(self):
+        spec = _spec(workload=WORKLOAD_DISTRIBUTED, total_tasks=20)
+        assert spec.tasks_per_job == 3
+        assert spec.num_jobs == 7  # ceil(20/3)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            _spec(workload="weird")
+        with pytest.raises(WorkloadError):
+            _spec(total_tasks=0)
+        with pytest.raises(WorkloadError):
+            _spec(mean_interarrival=0.0)
+        with pytest.raises(WorkloadError):
+            _spec(scale=-1.0)
+
+
+class TestPlan:
+    def test_total_tasks_exact(self):
+        spec = _spec(workload=WORKLOAD_DISTRIBUTED, total_tasks=20)
+        plan = build_plan(spec, DEVICES, RandomStreams(0).get("w"))
+        assert sum(len(j.task_shapes) for j in plan.jobs) == 20
+        # Last job carries the remainder (20 = 6*3 + 2).
+        assert len(plan.jobs[-1].task_shapes) == 2
+
+    def test_arrivals_strictly_increasing(self):
+        plan = build_plan(_spec(), DEVICES, RandomStreams(0).get("w"))
+        times = [j.arrival_time for j in plan.jobs]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_same_seed_identical_plan(self):
+        p1 = build_plan(_spec(), DEVICES, RandomStreams(9).get("w"))
+        p2 = build_plan(_spec(), DEVICES, RandomStreams(9).get("w"))
+        assert p1.jobs == p2.jobs
+
+    def test_different_seed_differs(self):
+        p1 = build_plan(_spec(), DEVICES, RandomStreams(1).get("w"))
+        p2 = build_plan(_spec(), DEVICES, RandomStreams(2).get("w"))
+        assert p1.jobs != p2.jobs
+
+    def test_devices_come_from_pool(self):
+        plan = build_plan(_spec(), DEVICES, RandomStreams(0).get("w"))
+        assert {j.device_name for j in plan.jobs} <= set(DEVICES)
+
+    def test_start_time_offsets_arrivals(self):
+        plan = build_plan(_spec(), DEVICES, RandomStreams(0).get("w"), start_time=100.0)
+        assert plan.jobs[0].arrival_time > 100.0
+
+    def test_task_shapes_respect_class(self):
+        from repro.edge.task import TABLE_I
+
+        plan = build_plan(_spec(size_class=SizeClass.M), DEVICES, RandomStreams(0).get("w"))
+        (d_lo, d_hi), (e_lo, e_hi) = TABLE_I[SizeClass.M]
+        for job in plan.jobs:
+            for data, exec_time in job.task_shapes:
+                assert d_lo <= data <= d_hi
+                assert e_lo <= exec_time <= e_hi
+
+    def test_empty_device_list_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_plan(_spec(), [], RandomStreams(0).get("w"))
+
+    def test_horizon(self):
+        plan = build_plan(_spec(), DEVICES, RandomStreams(0).get("w"))
+        assert plan.horizon == plan.jobs[-1].arrival_time

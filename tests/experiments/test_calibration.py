@@ -1,0 +1,55 @@
+"""Fig. 3 calibration experiment (short-duration variants for CI)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.calibration import (
+    CalibrationPoint,
+    calibration_to_curve,
+    run_calibration,
+    run_calibration_sweep,
+)
+
+pytestmark = pytest.mark.slow
+
+
+def test_idle_link_baseline_rtt():
+    point = run_calibration(0.0, duration=12.0)
+    # Paper: ~40 ms RTT at 0 % utilization (4 x 10 ms links).
+    assert point.mean_rtt == pytest.approx(0.040, abs=0.004)
+    assert point.mean_max_qdepth < 1.0
+
+
+def test_high_utilization_builds_queues_and_delay():
+    idle = run_calibration(0.0, duration=12.0)
+    busy = run_calibration(0.95, duration=12.0)
+    assert busy.mean_max_qdepth > idle.mean_max_qdepth + 3
+    assert busy.mean_rtt > idle.mean_rtt
+
+
+def test_queue_growth_monotone_in_utilization():
+    """The Fig. 3 left panel's qualitative shape."""
+    points = run_calibration_sweep((0.0, 0.5, 0.95), duration=12.0)
+    q = [p.mean_max_qdepth for p in points]
+    assert q[0] <= q[1] <= q[2]
+    assert q[2] > q[0]
+
+
+def test_sweep_feeds_curve():
+    points = run_calibration_sweep((0.0, 0.6, 0.95), duration=10.0)
+    curve = calibration_to_curve(points)
+    assert curve.utilization(0.0) <= curve.utilization(50.0)
+    assert curve.utilization(1000.0) == pytest.approx(points[-1].utilization)
+
+
+def test_samples_counted():
+    point = run_calibration(0.5, duration=10.0, probing_interval=0.1)
+    assert point.qdepth_samples == pytest.approx(100, abs=15)
+    assert point.rtt_samples >= 8
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        run_calibration(5.0)
+    with pytest.raises(ExperimentError):
+        run_calibration(0.5, duration=1.0)

@@ -1,0 +1,123 @@
+"""Comparison, ECDF, and probing-sweep harnesses (tiny scales)."""
+
+import pytest
+
+from repro.edge.task import SizeClass
+from repro.errors import ExperimentError
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.ecdf import fraction_above, gain_ecdf, paired_gains
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    ExperimentConfig,
+    ExperimentScale,
+    run_experiment,
+)
+from repro.experiments.probing_sweep import run_probing_sweep
+from repro.experiments import report
+
+pytestmark = pytest.mark.slow
+
+TINY = ExperimentScale(size_scale=0.05, total_tasks=6, mean_interarrival=0.4, time_scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def tiny_comparison():
+    base = ExperimentConfig(workload="serverless", metric="delay", scale=TINY, seed=3)
+    return run_comparison(
+        base,
+        size_classes=(SizeClass.VS,),
+        policies=(POLICY_AWARE, POLICY_NEAREST),
+    )
+
+
+class TestComparison:
+    def test_all_cells_present(self, tiny_comparison):
+        assert set(tiny_comparison.results) == {
+            (SizeClass.VS, POLICY_AWARE),
+            (SizeClass.VS, POLICY_NEAREST),
+        }
+
+    def test_mean_time_accessors(self, tiny_comparison):
+        for measure in ("completion", "transfer"):
+            t = tiny_comparison.mean_time(SizeClass.VS, POLICY_AWARE, measure)
+            assert t > 0
+
+    def test_gain_percent_computed(self, tiny_comparison):
+        gain = tiny_comparison.gain_percent(SizeClass.VS)
+        assert -100.0 < gain < 100.0
+
+    def test_missing_cell_rejected(self, tiny_comparison):
+        with pytest.raises(ExperimentError):
+            tiny_comparison.result(SizeClass.L, POLICY_AWARE)
+
+    def test_unknown_measure_rejected(self, tiny_comparison):
+        with pytest.raises(ExperimentError):
+            tiny_comparison.mean_time(SizeClass.VS, POLICY_AWARE, "vibes")
+
+    def test_as_rows_shape(self, tiny_comparison):
+        rows = tiny_comparison.as_rows()
+        assert len(rows) == 1
+        label, aware, nearest, random_, gain = rows[0]
+        assert label == "VS"
+
+    def test_render_comparison(self, tiny_comparison):
+        text = report.render_comparison(tiny_comparison)
+        assert "VS" in text and "gain" in text
+
+
+class TestEcdf:
+    def test_paired_gains(self, tiny_comparison):
+        gains = paired_gains(
+            tiny_comparison.result(SizeClass.VS, POLICY_AWARE),
+            tiny_comparison.result(SizeClass.VS, POLICY_NEAREST),
+        )
+        assert len(gains) == TINY.total_tasks
+        assert all(-5.0 < g < 1.0 for g in gains)
+
+    def test_gain_ecdf_monotone(self, tiny_comparison):
+        gains = paired_gains(
+            tiny_comparison.result(SizeClass.VS, POLICY_AWARE),
+            tiny_comparison.result(SizeClass.VS, POLICY_NEAREST),
+        )
+        x, f = gain_ecdf(gains)
+        assert list(x) == sorted(x)
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_fraction_above(self):
+        assert fraction_above([0.1, 0.3, -0.2, 0.5], 0.2) == pytest.approx(0.5)
+
+    def test_unpaired_runs_rejected(self, tiny_comparison):
+        other = run_experiment(
+            ExperimentConfig(
+                workload="serverless", metric="delay", scale=TINY, seed=99,
+                policy=POLICY_NEAREST, size_class=SizeClass.VS,
+            )
+        )
+        with pytest.raises(ExperimentError):
+            paired_gains(tiny_comparison.result(SizeClass.VS, POLICY_AWARE), other)
+
+    def test_render_ecdf_points(self, tiny_comparison):
+        gains = paired_gains(
+            tiny_comparison.result(SizeClass.VS, POLICY_AWARE),
+            tiny_comparison.result(SizeClass.VS, POLICY_NEAREST),
+        )
+        text = report.render_ecdf_points(gains)
+        assert "cumulative" in text
+
+
+class TestProbingSweep:
+    def test_sweep_runs_and_reports(self):
+        base = ExperimentConfig(
+            workload="distributed", metric="bandwidth", scale=TINY, seed=3
+        )
+        sweep = run_probing_sweep("traffic2", intervals=(0.1, 10.0), base_config=base)
+        series = sweep.series()
+        assert [i for i, _ in series] == [0.1, 10.0]
+        assert all(t > 0 for _, t in series)
+        text = report.render_probing_sweep([sweep])
+        assert "traffic2" in text
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_probing_sweep("traffic9")

@@ -1,0 +1,101 @@
+"""JSON export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.edge.task import SizeClass
+from repro.experiments.export import (
+    calibration_to_dict,
+    comparison_to_dict,
+    config_to_dict,
+    dump_json,
+    result_to_dict,
+    sweep_to_dict,
+    task_record_to_dict,
+)
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    ExperimentConfig,
+    ExperimentScale,
+    run_experiment,
+)
+
+pytestmark = pytest.mark.slow
+
+TINY = ExperimentScale(size_scale=0.05, total_tasks=4, mean_interarrival=0.4, time_scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    return run_experiment(
+        ExperimentConfig(policy=POLICY_AWARE, size_class=SizeClass.VS, scale=TINY, seed=2)
+    )
+
+
+def test_config_roundtrips_to_json(tiny_result):
+    payload = config_to_dict(tiny_result.config)
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["policy"] == POLICY_AWARE
+    assert payload["size_class"] == "VS"
+
+
+def test_result_dict_serializable(tiny_result):
+    payload = result_to_dict(tiny_result)
+    text = json.dumps(payload)
+    back = json.loads(text)
+    assert back["tasks_completed"] == 4
+    assert len(back["tasks"]) == 4
+    assert back["mean_completion_time"] > 0
+
+
+def test_result_without_tasks(tiny_result):
+    payload = result_to_dict(tiny_result, include_tasks=False)
+    assert "tasks" not in payload
+
+
+def test_task_record_fields(tiny_result):
+    record = tiny_result.records_in_order[0]
+    payload = task_record_to_dict(record)
+    assert payload["completion_time"] == pytest.approx(record.completion_time)
+    assert payload["device"].startswith("node")
+
+
+def test_dump_json(tmp_path, tiny_result):
+    path = tmp_path / "result.json"
+    dump_json(result_to_dict(tiny_result), str(path))
+    loaded = json.loads(path.read_text())
+    assert loaded["config"]["seed"] == 2
+
+
+def test_comparison_export():
+    from repro.experiments.comparison import run_comparison
+
+    comparison = run_comparison(
+        ExperimentConfig(workload="serverless", metric="delay", scale=TINY, seed=2),
+        size_classes=(SizeClass.VS,),
+        policies=(POLICY_AWARE, POLICY_NEAREST),
+    )
+    payload = comparison_to_dict(comparison)
+    json.dumps(payload)
+    assert len(payload["cells"]) == 2
+    assert "VS" in payload["gains_vs_nearest_percent"]
+
+
+def test_calibration_and_sweep_export():
+    from repro.experiments.calibration import run_calibration
+    from repro.experiments.probing_sweep import run_probing_sweep
+
+    points = [run_calibration(0.0, duration=6.0)]
+    payload = calibration_to_dict(points)
+    json.dumps(payload)
+    assert payload["points"][0]["mean_rtt"] > 0
+
+    base = ExperimentConfig(
+        workload="distributed", metric="bandwidth", scale=TINY, seed=2
+    )
+    sweep = run_probing_sweep("traffic2", intervals=(0.1,), base_config=base)
+    payload = sweep_to_dict(sweep)
+    json.dumps(payload)
+    assert payload["series"][0]["probing_interval"] == 0.1

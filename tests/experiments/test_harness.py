@@ -1,0 +1,102 @@
+"""The experiment harness: end-to-end runs and the pairing guarantee."""
+
+import pytest
+
+from repro.edge.task import SizeClass
+from repro.errors import ExperimentError
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    POLICY_RANDOM,
+    SMOKE_SCALE,
+    ExperimentConfig,
+    ExperimentScale,
+    run_experiment,
+)
+
+pytestmark = pytest.mark.slow
+
+
+TINY = ExperimentScale(size_scale=0.05, total_tasks=6, mean_interarrival=0.4, time_scale=0.08)
+
+
+def _cfg(**kw):
+    base = dict(policy=POLICY_AWARE, size_class=SizeClass.VS, scale=TINY, seed=11)
+    base.update(kw)
+    return ExperimentConfig(**base)
+
+
+class TestRun:
+    @pytest.mark.parametrize("policy", [POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM])
+    def test_all_policies_complete(self, policy):
+        res = run_experiment(_cfg(policy=policy))
+        assert res.tasks_completed == TINY.total_tasks
+        assert res.tasks_failed == 0
+        assert res.queries_served >= TINY.total_tasks  # serverless: 1 query/job
+
+    def test_metrics_positive(self):
+        res = run_experiment(_cfg())
+        assert res.mean_completion_time() > 0
+        assert res.mean_transfer_time() >= 0
+        assert res.mean_completion_time() > res.mean_transfer_time()
+
+    def test_probe_reports_collected(self):
+        res = run_experiment(_cfg())
+        assert res.probe_reports > 0
+
+    def test_distributed_workload(self):
+        res = run_experiment(_cfg(workload="distributed", metric="bandwidth"))
+        assert res.tasks_completed == TINY.total_tasks
+
+    def test_star_probe_layout(self):
+        res = run_experiment(_cfg(probe_layout="star"))
+        assert res.tasks_completed == TINY.total_tasks
+        assert res.probe_reports > 0
+
+
+class TestPairing:
+    def test_same_seed_same_workload_across_policies(self):
+        """The paper's fairness requirement: identical submissions."""
+        res_a = run_experiment(_cfg(policy=POLICY_AWARE))
+        res_b = run_experiment(_cfg(policy=POLICY_RANDOM))
+        a = [(r.device, r.data_bytes, r.exec_time, r.submitted_at) for r in res_a.records_in_order]
+        b = [(r.device, r.data_bytes, r.exec_time, r.submitted_at) for r in res_b.records_in_order]
+        assert a == b
+
+    def test_same_config_fully_deterministic(self):
+        r1 = run_experiment(_cfg())
+        r2 = run_experiment(_cfg())
+        t1 = [r.completion_time for r in r1.records_in_order]
+        t2 = [r.completion_time for r in r2.records_in_order]
+        assert t1 == t2
+
+    def test_different_seed_differs(self):
+        r1 = run_experiment(_cfg(seed=1))
+        r2 = run_experiment(_cfg(seed=2))
+        s1 = [(r.device, r.data_bytes) for r in r1.records_in_order]
+        s2 = [(r.device, r.data_bytes) for r in r2.records_in_order]
+        assert s1 != s2
+
+
+class TestConfigValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(policy="psychic")
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(metric="vibes")
+
+    def test_unknown_probe_layout_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(probe_layout="carrier-pigeon")
+
+    def test_bad_probing_interval_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(probing_interval=0.0)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(size_scale=0.0, total_tasks=1, mean_interarrival=1.0, time_scale=1.0)
+        with pytest.raises(ExperimentError):
+            ExperimentScale(size_scale=1.0, total_tasks=0, mean_interarrival=1.0, time_scale=1.0)

@@ -1,0 +1,38 @@
+"""ExperimentConfig validation for the mode-2 / legacy additions."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.harness import ExperimentConfig
+
+
+def test_raw_metric_with_min_completion_accepted():
+    config = ExperimentConfig(metric="raw", selection="min_completion")
+    assert config.selection == "min_completion"
+
+
+def test_min_completion_requires_raw_metric():
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(metric="delay", selection="min_completion")
+
+
+def test_raw_metric_requires_aware_policy():
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(policy="nearest", metric="raw")
+
+
+def test_unknown_selection_rejected():
+    with pytest.raises(ExperimentError):
+        ExperimentConfig(selection="coin_flip")
+
+
+def test_snmp_policy_accepted():
+    config = ExperimentConfig(policy="snmp", snmp_poll_interval=10.0)
+    assert config.snmp_poll_interval == 10.0
+
+
+def test_raw_with_top_k_accepted():
+    # Raw ranking with the plain top-k policy: legal (entries are in address
+    # order, so top-k degrades to address order — allowed but discouraged).
+    config = ExperimentConfig(metric="raw", selection="top_k")
+    assert config.metric == "raw"

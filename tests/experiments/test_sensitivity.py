@@ -1,0 +1,55 @@
+"""Sensitivity sweeps (tiny scales; shapes only)."""
+
+import pytest
+
+from repro.edge.task import SizeClass
+from repro.errors import ExperimentError
+from repro.experiments.harness import ExperimentConfig, ExperimentScale
+from repro.experiments.sensitivity import sweep_k, sweep_probing_parameter
+
+pytestmark = pytest.mark.slow
+
+TINY = ExperimentScale(size_scale=0.05, total_tasks=6, mean_interarrival=0.4, time_scale=0.08)
+BASE = ExperimentConfig(
+    workload="serverless", metric="delay", size_class=SizeClass.VS,
+    scale=TINY, seed=5,
+)
+
+
+def test_sweep_k_produces_gain_series():
+    result = sweep_k(values=(0.0, 0.020), base_config=BASE)
+    series = result.series()
+    assert [v for v, _ in series] == [0.0, 0.020]
+    for _value, gain in series:
+        assert -100.0 < gain < 100.0
+
+
+def test_sweep_k_rejects_negative():
+    with pytest.raises(ExperimentError):
+        sweep_k(values=(-1.0,), base_config=BASE)
+
+
+def test_best_value_selection():
+    result = sweep_k(values=(0.0, 0.020), base_config=BASE)
+    assert result.best_value() in (0.0, 0.020)
+
+
+def test_generic_parameter_sweep():
+    result = sweep_probing_parameter(
+        "probing_interval", (0.1, 1.0), base_config=BASE
+    )
+    assert set(result.runs) == {0.1, 1.0}
+    assert result.nearest is not None
+
+
+def test_generic_sweep_rejects_unknown_field():
+    with pytest.raises(ExperimentError):
+        sweep_probing_parameter("warp_factor", (1.0,), base_config=BASE)
+
+
+def test_unknown_measure_rejected():
+    result = sweep_k(values=(0.020,), base_config=BASE)
+    with pytest.raises(ExperimentError):
+        result.gain_percent(0.020, measure="vibes")
+    with pytest.raises(ExperimentError):
+        result.gain_percent(99.0)

@@ -1,0 +1,100 @@
+"""Reference topology builders."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.experiments.topologies import build_fat_tree, build_linear, build_star
+from repro.simnet.addressing import PROTO_UDP
+from repro.simnet.random import RandomStreams
+
+
+class TestLinear:
+    def test_structure(self, sim):
+        net, hosts = build_linear(sim, RandomStreams(0), num_switches=5)
+        assert len(net.switches) == 5
+        assert len(net.hosts) == 5
+        assert net.shortest_path("h1", "h5") == [
+            "h1", "s01", "s02", "s03", "s04", "s05", "h5",
+        ]
+
+    def test_end_to_end_delivery(self, sim):
+        net, hosts = build_linear(sim, RandomStreams(0), num_switches=3)
+        got = []
+        net.host("h3").bind(PROTO_UDP, 9, lambda p: got.append(p.hop_count))
+        h1 = net.host("h1")
+        h1.send(h1.new_packet(net.address_of("h3"), dst_port=9))
+        sim.run()
+        assert got == [3]
+
+    def test_int_stack_grows_with_chain_length(self, sim):
+        """Probes through an n-switch chain collect n records."""
+        from repro.telemetry.collector import IntCollector
+        from repro.telemetry.probe import ProbeResponder, ProbeSender
+
+        net, hosts = build_linear(sim, RandomStreams(0), num_switches=6)
+        collector = IntCollector(net.host("h6"))
+        ProbeResponder(net.host("h6"), collector=collector)
+        ProbeSender(net.host("h1"), [net.address_of("h6")]).start()
+        sim.run(until=0.5)
+        assert collector.last_report.hop_count == 6
+
+    def test_validation(self, sim):
+        with pytest.raises(TopologyError):
+            build_linear(sim, num_switches=0)
+
+
+class TestStar:
+    def test_structure(self, sim):
+        net, hosts = build_star(sim, RandomStreams(0), num_hosts=4)
+        assert len(net.switches) == 1
+        assert len(net.hosts) == 4
+        assert net.shortest_path("h1", "h4") == ["h1", "s01", "h4"]
+
+    def test_validation(self, sim):
+        with pytest.raises(TopologyError):
+            build_star(sim, num_hosts=1)
+
+
+class TestFatTree:
+    def test_structure(self, sim):
+        net, hosts = build_fat_tree(sim, RandomStreams(0), pods=3, hosts_per_leaf=2)
+        assert len(net.switches) == 5  # 2 spines + 3 leaves
+        assert len(net.hosts) == 6
+        # Cross-leaf paths go leaf -> spine -> leaf.
+        path = net.shortest_path("h1", "h3")
+        assert len(path) == 5
+        assert path[2] in ("s01", "s02")
+
+    def test_equal_cost_tie_breaks_to_lower_spine(self, sim):
+        net, hosts = build_fat_tree(sim, RandomStreams(0), pods=2)
+        path = net.shortest_path("h1", "h3")
+        assert path[2] == "s01"  # deterministic lexicographic choice
+
+    def test_scheduler_runs_on_fat_tree(self, sim):
+        """The core pipeline is topology-agnostic: full run on the fabric."""
+        from repro.core import NetworkAwareScheduler
+        from repro.telemetry.probe import ProbeResponder, ProbeSender
+
+        net, hosts = build_fat_tree(sim, RandomStreams(1), pods=2, hosts_per_leaf=2)
+        scheduler_host = hosts[-1]
+        servers = [net.address_of(h) for h in hosts[:-1]]
+        sched = NetworkAwareScheduler(
+            net.host(scheduler_host), servers, link_capacity_bps=20e6
+        )
+        all_addrs = [net.address_of(h) for h in hosts]
+        for h in hosts:
+            host = net.host(h)
+            if h == scheduler_host:
+                ProbeResponder(host, collector=sched.collector)
+            else:
+                ProbeResponder(host, collector_addr=net.address_of(scheduler_host))
+            ProbeSender(host, [a for a in all_addrs if a != host.addr], probe_size=256).start()
+        sim.run(until=1.0)
+        ranking = sched.rank(net.address_of(hosts[0]), "delay")
+        assert len(ranking) == len(servers) - 1
+        # Same-leaf neighbour is the closest.
+        assert ranking[0][0] == net.address_of(hosts[1])
+
+    def test_validation(self, sim):
+        with pytest.raises(TopologyError):
+            build_fat_tree(sim, pods=0)

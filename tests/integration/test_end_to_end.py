@@ -1,0 +1,150 @@
+"""End-to-end integration: congestion -> INT -> ranking -> placement.
+
+These tests build deterministic congestion scenarios and verify the entire
+pipeline reacts the way the paper describes, across module boundaries."""
+
+import pytest
+
+from repro.core import NetworkAwareScheduler
+from repro.core.client import SchedulerClient
+from repro.edge.device import EdgeDevice
+from repro.edge.metrics import MetricsCollector
+from repro.edge.server import EdgeServer
+from repro.edge.task import Job, SizeClass, Task
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.telemetry.probe import ProbeResponder, ProbeSender
+from repro.units import kb, mbps
+
+
+@pytest.fixture
+def system(sim):
+    """Fig. 4 topology + servers + aware scheduler + mesh probing."""
+    topo = build_fig4_network(sim, RandomStreams(3))
+    net = topo.network
+    worker_addrs = [net.address_of(n) for n in topo.worker_names]
+    for name in topo.worker_names:
+        EdgeServer(net.host(name))
+        UdpSink(net.host(name))
+    UdpSink(net.host(topo.scheduler_name))
+    scheduler = NetworkAwareScheduler(
+        net.host(topo.scheduler_name), worker_addrs,
+        link_capacity_bps=topo.fabric_rate_bps,
+    )
+    all_addrs = [net.address_of(n) for n in topo.node_names]
+    for name in topo.node_names:
+        host = net.host(name)
+        if name == topo.scheduler_name:
+            ProbeResponder(host, collector=scheduler.collector)
+        else:
+            ProbeResponder(host, collector_addr=topo.scheduler_addr)
+        ProbeSender(host, [a for a in all_addrs if a != host.addr], probe_size=256).start()
+    return topo, scheduler
+
+
+def _congest(net, src, dst, rate, start, duration, seed=9):
+    UdpCbrFlow(
+        net.host(src), net.address_of(dst), rate,
+        rng=RandomStreams(seed).get("cbr"),
+    ).run_for(duration, delay=start)
+
+
+def _congest_pod4(net, start, duration):
+    """Two 12 Mb/s streams from different pods converge on node8: their
+    join point (s04 -> s12) persistently oversubscribes, the way the
+    paper's random background flows congest 'different regions'."""
+    _congest(net, "node3", "node8", mbps(12), start, duration, seed=9)
+    _congest(net, "node5", "node8", mbps(12), start, duration, seed=10)
+
+
+class TestCongestionAvoidance:
+    def test_delay_ranking_dodges_congested_pod(self, sim, system):
+        topo, scheduler = system
+        net = topo.network
+        # Saturate the path into node8's pod while node7 queries.
+        _congest_pod4(net, start=0.5, duration=8.0)
+        sim.run(until=3.0)
+        ranking = scheduler.rank(net.address_of("node7"), "delay")
+        node8 = net.address_of("node8")
+        # node8 is node7's nearest, but must not top the list under load.
+        assert ranking[0][0] != node8
+        ranking_by_addr = dict(ranking)
+        assert ranking_by_addr[node8] > ranking[0][1]
+
+    def test_ranking_recovers_after_congestion(self, sim, system):
+        topo, scheduler = system
+        net = topo.network
+        _congest_pod4(net, start=0.5, duration=3.0)
+        sim.run(until=8.0)  # congestion ended at 3.5, telemetry staleness 2 s
+        ranking = scheduler.rank(net.address_of("node7"), "delay")
+        assert ranking[0][0] == net.address_of("node8")
+
+    def test_bandwidth_estimate_drops_under_load(self, sim, system):
+        topo, scheduler = system
+        net = topo.network
+        sim.run(until=1.0)
+        idle = dict(scheduler.rank(net.address_of("node7"), "bandwidth"))
+        _congest_pod4(net, start=0.0, duration=6.0)
+        sim.run(until=4.0)
+        loaded = dict(scheduler.rank(net.address_of("node7"), "bandwidth"))
+        node8 = net.address_of("node8")
+        assert loaded[node8] < idle[node8] * 0.7
+
+    def test_task_placed_away_from_congestion(self, sim, system):
+        topo, scheduler = system
+        net = topo.network
+        _congest_pod4(net, start=0.5, duration=20.0)
+        metrics = MetricsCollector()
+        device = EdgeDevice(net.host("node7"), topo.scheduler_addr, metrics, metric="delay")
+        task = Task(job_id=0, size_class=SizeClass.VS, data_bytes=kb(100), exec_time=0.2)
+        job = Job(device_name="node7", workload="serverless", tasks=[task])
+        sim.schedule(2.0, device.submit_job, job)
+        sim.run(until=30.0)
+        record = metrics.records[0]
+        assert record.complete
+        assert record.server_addr != net.address_of("node8")
+
+
+class TestTelemetryPlane:
+    def test_mesh_probing_learns_every_directed_host_pair(self, sim, system):
+        topo, scheduler = system
+        sim.run(until=1.0)
+        store = scheduler.store
+        hosts = [("host", topo.network.address_of(n)) for n in topo.node_names]
+        for src in hosts:
+            for dst in hosts:
+                if src != dst:
+                    path = store.topology.path(src, dst)
+                    assert path[0] == src and path[-1] == dst
+
+    def test_inferred_paths_match_installed_routes(self, sim, system):
+        """The scheduler's idea of the data path must agree with the routes
+        the control plane installed (consistent tie-breaking)."""
+        topo, scheduler = system
+        net = topo.network
+        sim.run(until=1.0)
+        for a in ("node1", "node7", "node3"):
+            for b in ("node4", "node8", "node5"):
+                if a == b:
+                    continue
+                true_path = net.shortest_path(a, b)
+                inferred = scheduler.store.topology.path(
+                    ("host", net.address_of(a)), ("host", net.address_of(b))
+                )
+                inferred_names = [
+                    net.name_of(i[1]) if i[0] == "host" else net.switch_by_id(i[1]).name
+                    for i in inferred
+                ]
+                assert inferred_names == true_path, (a, b)
+
+    def test_probe_overhead_negligible(self, sim, system):
+        """Mesh probing with 256 B probes: per-uplink offered load stays
+        below 1 % of the fabric rate."""
+        topo, scheduler = system
+        net = topo.network
+        sim.run(until=5.0)
+        for name in topo.node_names:
+            link = net.host(name).ports[0].link
+            rate = link.bytes_carried["a"] * 8.0 / 5.0
+            assert rate < 0.02 * topo.fabric_rate_bps

@@ -1,0 +1,189 @@
+"""Failure injection: the control protocols must survive loss, absence,
+and hostile input — the simulator genuinely drops packets under load."""
+
+import pytest
+
+from repro.core import NetworkAwareScheduler
+from repro.core.client import SchedulerClient
+from repro.edge.device import EdgeDevice
+from repro.edge.metrics import MetricsCollector
+from repro.edge.server import EdgeServer
+from repro.edge.task import Job, SizeClass, Task
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.simnet.addressing import PORT_PROBE, PROTO_UDP
+from repro.simnet.flows import MSS, UdpCbrFlow, UdpSink
+from repro.simnet.packet import FLAG_PROBE, MTU
+from repro.simnet.random import RandomStreams
+from repro.telemetry.collector import IntCollector
+from repro.telemetry.probe import PORT_PROBE_REPORT, ProbeResponder, ProbeSender
+from repro.units import kb, mbps
+
+
+def _task(data=kb(50), exec_time=0.2):
+    return Task(job_id=0, size_class=SizeClass.VS, data_bytes=data, exec_time=exec_time)
+
+
+class TestSchedulerAbsence:
+    def test_no_scheduler_marks_tasks_failed(self, sim, streams):
+        """Scheduler host is down (nothing bound on the port): the device
+        retries, gives up, and marks the job's tasks failed — no hang."""
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        metrics = MetricsCollector()
+        device = EdgeDevice(net.host("node1"), topo.scheduler_addr, metrics)
+        device.submit_job(Job(device_name="node1", workload="serverless", tasks=[_task()]))
+        sim.run(until=120.0)
+        assert metrics.all_done()
+        assert len(metrics.failed()) == 1
+        assert device.client.failures == 1
+
+    def test_queries_survive_congested_control_path(self, sim, streams):
+        """Heavy cross-traffic on the scheduler's uplink loses some query or
+        response datagrams; retries must still land every query."""
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        worker_addrs = [net.address_of(n) for n in topo.worker_names]
+        from repro.core.baselines import NearestScheduler
+
+        NearestScheduler(net.host(topo.scheduler_name), worker_addrs, net)
+        UdpSink(net.host(topo.scheduler_name))
+        # Two converging floods toward the scheduler's leaf.
+        for i, src in enumerate(("node1", "node3")):
+            UdpCbrFlow(
+                net.host(src), topo.scheduler_addr, mbps(12),
+                rng=RandomStreams(20 + i).get("f"),
+            ).run_for(30.0)
+        client = SchedulerClient(net.host("node7"), topo.scheduler_addr)
+        results = []
+        for i in range(10):
+            sim.schedule(1.0 + i, lambda: client.query("delay", results.append))
+        sim.run(until=90.0)
+        assert len(results) == 10
+        assert all(r for r in results)  # every query eventually answered
+
+
+class TestHostileTelemetry:
+    def test_corrupted_probe_payload_dropped_not_crashed(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        ProbeResponder(net.host("h3"), collector=collector)
+        h1 = net.host("h1")
+        # A probe-flagged packet with garbage payload.
+        pkt = h1.new_packet(
+            net.address_of("h3"),
+            protocol=PROTO_UDP,
+            dst_port=PORT_PROBE,
+            size_bytes=MTU,
+            payload=b"\xde\xad\xbe\xef" * 8,
+            flags=FLAG_PROBE,
+        )
+        pkt.size_bytes = MTU
+        h1.send(pkt)
+        sim.run(until=1.0)
+        assert collector.reports_malformed >= 1
+        assert collector.reports_ingested == 0
+
+    def test_spoofed_report_message_ignored(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        h1 = net.host("h1")
+        h1.send(h1.new_packet(
+            net.address_of("h3"), dst_port=PORT_PROBE_REPORT,
+            message=("not", "a", "report"),
+        ))
+        h1.send(h1.new_packet(
+            net.address_of("h3"), dst_port=PORT_PROBE_REPORT,
+            message=(1, 2, 3, 4.0, 5.0, "payload-not-bytes", None),
+        ))
+        sim.run(until=1.0)
+        assert collector.reports_malformed == 2
+
+    def test_scheduler_ignores_garbage_queries_under_probing(self, sim, streams):
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        worker_addrs = [net.address_of(n) for n in topo.worker_names]
+        sched = NetworkAwareScheduler(
+            net.host(topo.scheduler_name), worker_addrs,
+            link_capacity_bps=topo.fabric_rate_bps,
+        )
+        ProbeResponder(net.host(topo.scheduler_name), collector=sched.collector)
+        ProbeSender(net.host("node1"), [topo.scheduler_addr]).start()
+        h = net.host("node2")
+        for junk in ("hi", 42, ("sched_query",), ("sched_query", 1)):
+            h.send(h.new_packet(topo.scheduler_addr, dst_port=5000, message=junk))
+        sim.run(until=2.0)
+        assert sched.queries_served == 0
+        assert sched.collector.reports_ingested > 0  # telemetry unharmed
+
+
+class TestDataPathLoss:
+    def test_transfer_through_saturated_port_completes(self, sim, streams):
+        """A task upload fighting a 19 Mb/s flood on its bottleneck: heavy
+        loss, but the transport must finish and the task must complete."""
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        from repro.core.baselines import NearestScheduler
+
+        worker_addrs = [net.address_of(n) for n in topo.worker_names]
+        NearestScheduler(net.host(topo.scheduler_name), worker_addrs, net)
+        for name in topo.worker_names:
+            EdgeServer(net.host(name))
+            UdpSink(net.host(name))
+        UdpCbrFlow(
+            net.host("node1"), net.address_of("node2"), mbps(19),
+            rng=RandomStreams(30).get("f"),
+        ).run_for(60.0)
+        metrics = MetricsCollector()
+        device = EdgeDevice(net.host("node1"), topo.scheduler_addr, metrics)
+        # Nearest sends node1's task to node2 — straight into the flood.
+        device.submit_job(Job(
+            device_name="node1", workload="serverless",
+            tasks=[_task(data=kb(300), exec_time=0.1)],
+        ))
+        sim.run(until=300.0)
+        record = metrics.records[0]
+        assert record.complete
+        assert record.transfer_time > 0.3  # it suffered...
+        # ...and retransmissions actually happened somewhere in the system.
+
+
+class TestStaleness:
+    def test_probing_stopped_means_no_congestion_claims(self, sim, streams):
+        """If probing dies, stale readings must age out rather than pin the
+        last observed congestion forever."""
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        worker_addrs = [net.address_of(n) for n in topo.worker_names]
+        sched = NetworkAwareScheduler(
+            net.host(topo.scheduler_name), worker_addrs,
+            link_capacity_bps=topo.fabric_rate_bps, staleness=2.0,
+        )
+        all_addrs = [net.address_of(n) for n in topo.node_names]
+        senders = []
+        for name in topo.node_names:
+            host = net.host(name)
+            if name == topo.scheduler_name:
+                ProbeResponder(host, collector=sched.collector)
+            else:
+                ProbeResponder(host, collector_addr=topo.scheduler_addr)
+            s = ProbeSender(host, [a for a in all_addrs if a != host.addr], probe_size=256)
+            s.start()
+            senders.append(s)
+        for name in topo.node_names:
+            UdpSink(net.host(name))
+        for i, src in enumerate(("node3", "node5")):
+            UdpCbrFlow(
+                net.host(src), net.address_of("node8"), mbps(12),
+                rng=RandomStreams(40 + i).get("f"),
+            ).run_for(3.0)
+        sim.run(until=2.0)
+        congested = dict(sched.rank(net.address_of("node7"), "bandwidth"))
+        node8 = net.address_of("node8")
+        assert congested[node8] < topo.fabric_rate_bps * 0.8
+        # Probing dies; congestion also ends.  After staleness, estimates
+        # must return to "no evidence of congestion".
+        for s in senders:
+            s.stop()
+        sim.run(until=10.0)
+        recovered = dict(sched.rank(net.address_of("node7"), "bandwidth"))
+        assert recovered[node8] == pytest.approx(topo.fabric_rate_bps)

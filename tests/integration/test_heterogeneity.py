@@ -1,0 +1,143 @@
+"""Heterogeneous servers end to end: GPU tasks land only on GPU servers."""
+
+import pytest
+
+from repro.core.extensions import HeterogeneityAwareScheduler
+from repro.edge.device import EdgeDevice
+from repro.edge.metrics import MetricsCollector
+from repro.edge.server import EdgeServer
+from repro.edge.task import Job, SizeClass, Task
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.simnet.random import RandomStreams
+from repro.telemetry.probe import ProbeResponder, ProbeSender
+from repro.units import kb
+
+
+@pytest.fixture
+def het_system(sim):
+    """Fig. 4 with GPU capability only on node4 and node8."""
+    topo = build_fig4_network(sim, RandomStreams(7))
+    net = topo.network
+    gpu_nodes = {"node4", "node8"}
+    capabilities = {}
+    for name in topo.worker_names:
+        caps = {"gpu"} if name in gpu_nodes else set()
+        EdgeServer(net.host(name), capabilities=caps)
+        capabilities[net.address_of(name)] = caps
+    worker_addrs = [net.address_of(n) for n in topo.worker_names]
+    sched = HeterogeneityAwareScheduler(
+        net.host(topo.scheduler_name), worker_addrs,
+        link_capacity_bps=topo.fabric_rate_bps,
+        capabilities=capabilities,
+    )
+    all_addrs = [net.address_of(n) for n in topo.node_names]
+    for name in topo.node_names:
+        host = net.host(name)
+        if name == topo.scheduler_name:
+            ProbeResponder(host, collector=sched.collector)
+        else:
+            ProbeResponder(host, collector_addr=topo.scheduler_addr)
+        ProbeSender(host, [a for a in all_addrs if a != host.addr], probe_size=256).start()
+    return topo, sched, gpu_nodes
+
+
+def _gpu_job(device, n_tasks=1):
+    tasks = [
+        Task(
+            job_id=0, size_class=SizeClass.VS, data_bytes=kb(50),
+            exec_time=0.2, requirements=frozenset({"gpu"}),
+        )
+        for _ in range(n_tasks)
+    ]
+    return Job(device_name=device, workload="serverless" if n_tasks == 1 else "distributed",
+               tasks=tasks)
+
+
+def test_gpu_task_lands_on_gpu_server(sim, het_system):
+    topo, sched, gpu_nodes = het_system
+    net = topo.network
+    metrics = MetricsCollector()
+    device = EdgeDevice(
+        net.host("node1"), topo.scheduler_addr, metrics,
+        metric=("delay", frozenset({"gpu"})),
+    )
+    sim.schedule(1.0, device.submit_job, _gpu_job("node1"))
+    sim.run(until=60.0)
+    record = metrics.records[0]
+    assert record.complete
+    assert net.name_of(record.server_addr) in gpu_nodes
+
+
+def test_two_gpu_tasks_use_both_gpu_servers(sim, het_system):
+    topo, sched, gpu_nodes = het_system
+    net = topo.network
+    metrics = MetricsCollector()
+    device = EdgeDevice(
+        net.host("node1"), topo.scheduler_addr, metrics,
+        metric=("delay", frozenset({"gpu"})),
+    )
+    sim.schedule(1.0, device.submit_job, _gpu_job("node1", n_tasks=2))
+    sim.run(until=60.0)
+    servers = {net.name_of(r.server_addr) for r in metrics.records}
+    assert servers == gpu_nodes
+    assert all(r.complete for r in metrics.records)
+
+
+def test_plain_task_unrestricted(sim, het_system):
+    topo, sched, gpu_nodes = het_system
+    net = topo.network
+    metrics = MetricsCollector()
+    device = EdgeDevice(net.host("node1"), topo.scheduler_addr, metrics, metric="delay")
+    task = Task(job_id=0, size_class=SizeClass.VS, data_bytes=kb(50), exec_time=0.2)
+    job = Job(device_name="node1", workload="serverless", tasks=[task])
+    sim.schedule(1.0, device.submit_job, job)
+    sim.run(until=60.0)
+    record = metrics.records[0]
+    assert record.complete
+    # Unrestricted tasks go to the nearest-by-delay server (node2, in pod).
+    assert net.name_of(record.server_addr) == "node2"
+
+
+def test_unsatisfiable_requirement_fails_cleanly(sim, het_system):
+    topo, sched, gpu_nodes = het_system
+    net = topo.network
+    metrics = MetricsCollector()
+    device = EdgeDevice(
+        net.host("node1"), topo.scheduler_addr, metrics,
+        metric=("delay", frozenset({"quantum"})),
+    )
+    task = Task(
+        job_id=0, size_class=SizeClass.VS, data_bytes=kb(50), exec_time=0.2,
+        requirements=frozenset({"quantum"}),
+    )
+    job = Job(device_name="node1", workload="serverless", tasks=[task])
+    sim.schedule(1.0, device.submit_job, job)
+    sim.run(until=60.0)
+    record = metrics.records[0]
+    assert record.failed
+    assert not record.complete
+
+
+def test_server_side_double_check(sim, het_system):
+    """Even if a mis-ranked task reaches a non-GPU server, the server
+    rejects it instead of silently executing."""
+    topo, sched, gpu_nodes = het_system
+    net = topo.network
+    from repro.simnet.flows import ReliableTransfer
+
+    results = []
+    h1 = net.host("node1")
+    port = h1.ephemeral_port()
+    h1.bind(17, port, lambda p: results.append(p.message))
+    transfer = ReliableTransfer(
+        h1, net.address_of("node2"), 6000, kb(10),
+        metadata={
+            "task_id": 999, "exec_time": 0.1,
+            "reply_addr": h1.addr, "reply_port": port,
+            "requirements": frozenset({"gpu"}),
+        },
+    )
+    transfer.start()
+    sim.run(until=30.0)
+    assert results
+    assert results[0][:3] == ("task_result", 999, False)

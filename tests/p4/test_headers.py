@@ -1,0 +1,118 @@
+"""INT probe header codec: framing, clamping, error handling."""
+
+import pytest
+
+from repro.errors import PacketError
+from repro.p4.headers import (
+    HOP_RECORD_SIZE,
+    PROBE_HEADER_SIZE,
+    IntHopRecord,
+    append_hop_record,
+    decode_probe_payload,
+    encode_hop_record,
+    encode_probe_header,
+)
+
+
+def _record(**kw):
+    base = dict(switch_id=3, egress_port=1, max_qdepth=17, link_latency=0.0105, egress_ts=2.5)
+    base.update(kw)
+    return IntHopRecord(**base)
+
+
+def test_empty_probe_header():
+    payload = encode_probe_header(0)
+    assert len(payload) == PROBE_HEADER_SIZE
+    assert decode_probe_payload(payload) == []
+
+
+def test_single_hop_roundtrip():
+    payload = append_hop_record(encode_probe_header(0), _record())
+    records = decode_probe_payload(payload)
+    assert len(records) == 1
+    r = records[0]
+    assert (r.switch_id, r.egress_port, r.max_qdepth) == (3, 1, 17)
+    assert r.link_latency == pytest.approx(0.0105, abs=1e-6)
+    assert r.egress_ts == pytest.approx(2.5, abs=1e-6)
+
+
+def test_multi_hop_preserves_path_order():
+    payload = encode_probe_header(0)
+    for sid in (5, 2, 9):
+        payload = append_hop_record(payload, _record(switch_id=sid))
+    assert [r.switch_id for r in decode_probe_payload(payload)] == [5, 2, 9]
+
+
+def test_payload_length_grows_by_record_size():
+    p0 = encode_probe_header(0)
+    p1 = append_hop_record(p0, _record())
+    assert len(p1) - len(p0) == HOP_RECORD_SIZE
+
+
+def test_first_hop_latency_sentinel():
+    payload = append_hop_record(encode_probe_header(0), _record(link_latency=None))
+    assert decode_probe_payload(payload)[0].link_latency is None
+
+
+def test_negative_latency_survives():
+    """Clock jitter can make measured latency slightly negative; the codec
+    must not corrupt it (signed field)."""
+    payload = append_hop_record(encode_probe_header(0), _record(link_latency=-0.00015))
+    assert decode_probe_payload(payload)[0].link_latency == pytest.approx(-0.00015, abs=1e-6)
+
+
+def test_qdepth_saturates_at_16_bits():
+    payload = append_hop_record(encode_probe_header(0), _record(max_qdepth=2**20))
+    assert decode_probe_payload(payload)[0].max_qdepth == 0xFFFF
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(PacketError):
+        decode_probe_payload(b"XX\x01\x00")
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(PacketError):
+        decode_probe_payload(b"NT")
+
+
+def test_inconsistent_length_rejected():
+    payload = append_hop_record(encode_probe_header(0), _record())
+    with pytest.raises(PacketError):
+        decode_probe_payload(payload + b"junk")
+    with pytest.raises(PacketError):
+        decode_probe_payload(payload[:-1])
+
+
+def test_append_to_inconsistent_payload_rejected():
+    payload = append_hop_record(encode_probe_header(0), _record())
+    with pytest.raises(PacketError):
+        append_hop_record(payload + b"x", _record())
+
+
+def test_bad_version_rejected():
+    payload = bytearray(encode_probe_header(0))
+    payload[2] = 99
+    with pytest.raises(PacketError):
+        decode_probe_payload(bytes(payload))
+
+
+def test_record_field_validation():
+    with pytest.raises(PacketError):
+        IntHopRecord(switch_id=-1, egress_port=0, max_qdepth=0, link_latency=None, egress_ts=0.0)
+    with pytest.raises(PacketError):
+        IntHopRecord(switch_id=1, egress_port=300, max_qdepth=0, link_latency=None, egress_ts=0.0)
+    with pytest.raises(PacketError):
+        IntHopRecord(switch_id=1, egress_port=0, max_qdepth=-2, link_latency=None, egress_ts=0.0)
+
+
+def test_hop_count_limit():
+    payload = encode_probe_header(0)
+    for i in range(255):
+        payload = append_hop_record(payload, _record(switch_id=i % 100))
+    with pytest.raises(PacketError):
+        append_hop_record(payload, _record())
+
+
+def test_encode_hop_record_size():
+    assert len(encode_hop_record(_record())) == HOP_RECORD_SIZE

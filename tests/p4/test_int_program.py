@@ -1,0 +1,180 @@
+"""The paper's INT program: register updates, probe collection, timestamps.
+
+These tests drive real packets through small finalized networks so the
+program executes exactly as it does in experiments."""
+
+import pytest
+
+from repro.p4.headers import decode_probe_payload, encode_probe_header
+from repro.simnet.addressing import PORT_PROBE, PROTO_UDP
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.packet import FLAG_PROBE, MTU
+from repro.simnet.random import RandomStreams
+from repro.units import mbps, ms
+
+
+def _probe_packet(host, dst_addr, size=MTU):
+    pkt = host.new_packet(
+        dst_addr,
+        protocol=PROTO_UDP,
+        dst_port=PORT_PROBE,
+        size_bytes=size,
+        payload=encode_probe_header(0),
+        flags=FLAG_PROBE,
+    )
+    pkt.size_bytes = size
+    return pkt
+
+
+@pytest.fixture
+def quiet_line3(sim, quiet_network_factory):
+    """Deterministic h1 - s01 - s02 - {h2, h3} network."""
+    net = quiet_network_factory()
+    for h in ("h1", "h2", "h3"):
+        net.add_host(h)
+    for s in ("s01", "s02"):
+        net.add_switch(s)
+    net.attach_host("h1", "s01", fabric_rate_bps=mbps(20), delay=ms(10))
+    net.connect("s01", "s02", rate_bps=mbps(20), delay=ms(10))
+    net.attach_host("h2", "s02", fabric_rate_bps=mbps(20), delay=ms(10))
+    net.attach_host("h3", "s02", fabric_rate_bps=mbps(20), delay=ms(10))
+    net.finalize()
+    return net
+
+
+def _capture_probe(net, host_name):
+    got = []
+    net.host(host_name).bind(PROTO_UDP, PORT_PROBE, lambda p: got.append(p))
+    return got
+
+
+class TestProbePath:
+    def test_probe_collects_one_record_per_switch(self, sim, quiet_line3):
+        net = quiet_line3
+        got = _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h2")))
+        sim.run()
+        records = decode_probe_payload(got[0].payload)
+        assert [r.switch_id for r in records] == [1, 2]
+
+    def test_record_ports_point_downstream(self, sim, quiet_line3):
+        net = quiet_line3
+        got = _capture_probe(net, "h3")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h3")))
+        sim.run()
+        records = decode_probe_payload(got[0].payload)
+        # s01's egress toward s02; s02's egress toward h3.
+        assert records[0].egress_port == net.port_toward("s01", "s02")
+        assert records[1].egress_port == net.port_toward("s02", "h3")
+
+    def test_first_hop_link_latency_measured(self, sim, quiet_line3):
+        """Host stamps at dequeue; s01 measures host->switch link latency
+        (10 ms propagation + 1500 B / 200 Mb/s serialization)."""
+        net = quiet_line3
+        got = _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h2")))
+        sim.run()
+        records = decode_probe_payload(got[0].payload)
+        assert records[0].link_latency == pytest.approx(ms(10) + 1500 * 8 / mbps(200), abs=1e-5)
+
+    def test_inter_switch_link_latency_measured(self, sim, quiet_line3):
+        net = quiet_line3
+        got = _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h2")))
+        sim.run()
+        records = decode_probe_payload(got[0].payload)
+        # 10 ms propagation + 1500 B / 20 Mb/s serialization = 10.6 ms.
+        assert records[1].link_latency == pytest.approx(0.0106, abs=1e-4)
+
+    def test_link_latency_excludes_queueing(self, sim, quiet_line3):
+        """Congest s01->s02, then probe: the *latency* field must stay at the
+        uncongested value (measurement happens before enqueue) even though
+        the probe itself waited in the queue."""
+        net = quiet_line3
+        UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(19.5),
+            rng=RandomStreams(1).get("f"),
+        )
+        flow.run_for(2.0)
+        got = _capture_probe(net, "h3")
+        h1 = net.host("h1")
+        sim.schedule(1.0, lambda: h1.send(_probe_packet(h1, net.address_of("h3"))))
+        sim.run(until=4.0)
+        records = decode_probe_payload(got[0].payload)
+        assert records[1].link_latency == pytest.approx(0.0106, abs=5e-4)
+
+    def test_probe_padding_keeps_wire_size(self, sim, quiet_line3):
+        net = quiet_line3
+        got = _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h2"), size=MTU))
+        sim.run()
+        assert got[0].size_bytes == MTU  # INT stack fits within the padding
+
+    def test_probe_grows_if_stack_exceeds_padding(self, sim, quiet_line3):
+        net = quiet_line3
+        got = _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h2"), size=44))  # minimal
+        sim.run()
+        assert got[0].size_bytes > 44
+
+
+class TestRegisterSemantics:
+    def test_data_packets_update_max_register(self, sim, quiet_line3):
+        net = quiet_line3
+        UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(19),
+            rng=RandomStreams(2).get("f"),
+        )
+        flow.run_for(3.0)
+        sim.run(until=3.5)
+        s01 = net.switch("s01")
+        port = net.port_toward("s01", "s02")
+        reg_val = s01.program.register("max_qdepth").read(port)
+        assert reg_val == s01.ports[port].queue.stats.max_depth_seen
+        assert reg_val > 0
+
+    def test_probe_resets_register(self, sim, quiet_line3):
+        net = quiet_line3
+        UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(19),
+            rng=RandomStreams(2).get("f"),
+        )
+        flow.run_for(1.0)
+        got = _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        sim.schedule(1.5, lambda: h1.send(_probe_packet(h1, net.address_of("h2"))))
+        sim.run(until=2.0)
+        records = decode_probe_payload(got[0].payload)
+        assert records[0].max_qdepth > 0  # probe picked the accumulated max
+        s01 = net.switch("s01")
+        port = net.port_toward("s01", "s02")
+        assert s01.program.register("max_qdepth").read(port) == 0  # and reset it
+
+    def test_uncongested_port_reports_zero(self, sim, quiet_line3):
+        net = quiet_line3
+        got = _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h2")))
+        sim.run()
+        records = decode_probe_payload(got[0].payload)
+        assert all(r.max_qdepth == 0 for r in records)
+
+    def test_counters(self, sim, quiet_line3):
+        net = quiet_line3
+        _capture_probe(net, "h2")
+        h1 = net.host("h1")
+        h1.send(_probe_packet(h1, net.address_of("h2")))
+        h1.send(h1.new_packet(net.address_of("h2"), dst_port=99, size_bytes=100))
+        sim.run()
+        prog = net.switch("s01").program
+        assert prog.probes_processed == 1
+        assert prog.data_packets_observed == 1

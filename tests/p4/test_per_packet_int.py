@@ -1,0 +1,117 @@
+"""Per-packet INT (the rejected alternative): embedding and overhead."""
+
+import pytest
+
+from repro.p4.headers import HOP_RECORD_SIZE
+from repro.p4.per_packet_int import PerPacketIntProgram, PerPacketIntSink
+from repro.simnet.flows import UdpCbrFlow
+from repro.simnet.packet import MTU
+from repro.simnet.random import RandomStreams
+from repro.simnet.topology import Network
+from repro.units import mbps, ms
+
+
+@pytest.fixture
+def per_packet_net(sim):
+    """h1 - s01 - s02 - h2 with per-packet INT on every switch."""
+    net = Network(
+        sim, RandomStreams(0),
+        clock_offset_std=0.0, clock_jitter_std=0.0, switch_service_jitter=0.0,
+        program_factory=PerPacketIntProgram,
+    )
+    net.add_host("h1")
+    net.add_host("h2")
+    net.add_switch("s01")
+    net.add_switch("s02")
+    net.attach_host("h1", "s01", fabric_rate_bps=mbps(20), delay=ms(5))
+    net.connect("s01", "s02", rate_bps=mbps(20), delay=ms(5))
+    net.attach_host("h2", "s02", fabric_rate_bps=mbps(20), delay=ms(5))
+    net.finalize()
+    return net
+
+
+def _send_one(net, size=1000, port=5201):
+    h1 = net.host("h1")
+    h1.send(h1.new_packet(net.address_of("h2"), dst_port=port, size_bytes=size))
+
+
+class TestEmbedding:
+    def test_stack_grows_per_hop(self, sim, per_packet_net):
+        net = per_packet_net
+        stacks = []
+        PerPacketIntSink(net.host("h2"), 5201, on_stack=stacks.append)
+        _send_one(net)
+        sim.run()
+        assert len(stacks) == 1
+        assert [r.switch_id for r in stacks[0]] == [1, 2]
+
+    def test_wire_size_grows_per_hop(self, sim, per_packet_net):
+        net = per_packet_net
+        received = []
+        net.host("h2").bind(17, 5201, lambda p: received.append(p.size_bytes))
+        _send_one(net, size=1000)
+        sim.run()
+        assert received == [1000 + 2 * HOP_RECORD_SIZE]
+
+    def test_queue_depth_is_instantaneous(self, sim, per_packet_net):
+        """Per-packet INT reports the queue the packet itself observed."""
+        net = per_packet_net
+        stacks = []
+        PerPacketIntSink(net.host("h2"), 5201, on_stack=stacks.append)
+        # Burst: later packets observe deeper queues at s01.
+        for _ in range(8):
+            _send_one(net)
+        sim.run()
+        first_hop_depths = [s[0].max_qdepth for s in stacks]
+        assert first_hop_depths[0] == 0
+        assert max(first_hop_depths) >= 3
+
+    def test_link_latency_measured(self, sim, per_packet_net):
+        net = per_packet_net
+        stacks = []
+        PerPacketIntSink(net.host("h2"), 5201, on_stack=stacks.append)
+        _send_one(net)
+        sim.run()
+        # Second hop's upstream link: 5 ms + 1017 B / 20 Mb/s.
+        latency = stacks[0][1].link_latency
+        assert latency == pytest.approx(ms(5) + (1000 + HOP_RECORD_SIZE) * 8 / mbps(20), abs=2e-4)
+
+    def test_program_counters(self, sim, per_packet_net):
+        net = per_packet_net
+        PerPacketIntSink(net.host("h2"), 5201)
+        for _ in range(3):
+            _send_one(net)
+        sim.run()
+        prog = net.switch("s01").program
+        assert prog.records_embedded == 3
+        assert prog.bytes_added == 3 * HOP_RECORD_SIZE
+
+
+class TestOverhead:
+    def test_overhead_fraction_matches_arithmetic(self, sim, per_packet_net):
+        """Full-MTU packets over 2 hops: overhead = 2x17 / (1500+34)."""
+        net = per_packet_net
+        sink = PerPacketIntSink(net.host("h2"), 5201)
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(5),
+            packet_size=MTU, dst_port=5201, burstiness="cbr",
+        )
+        flow.run_for(2.0)
+        sim.run(until=3.0)
+        expected = 2 * HOP_RECORD_SIZE / (MTU + 2 * HOP_RECORD_SIZE)
+        assert sink.overhead_fraction == pytest.approx(expected, rel=1e-6)
+        assert sink.packets > 100
+
+    def test_overhead_reduces_effective_goodput(self, sim, per_packet_net):
+        """At saturation, telemetry bytes displace data bytes: goodput on a
+        20 Mb/s path drops by the overhead fraction."""
+        net = per_packet_net
+        sink = PerPacketIntSink(net.host("h2"), 5201)
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(30),  # oversubscribe
+            packet_size=MTU, dst_port=5201, burstiness="cbr",
+        )
+        flow.run_for(5.0)
+        sim.run(until=5.0)
+        goodput = (sink.total_bytes - sink.telemetry_bytes) * 8.0 / 5.0
+        assert goodput < mbps(20) * 0.99

@@ -1,0 +1,129 @@
+"""Pipeline driver: stage sequencing, resource declaration, error handling."""
+
+import pytest
+
+from repro.errors import DataPlaneError
+from repro.p4.forwarding import PlainForwardingProgram
+from repro.p4.pipeline import P4Program, PipelineContext
+from repro.simnet.packet import Packet
+from repro.units import mbps
+
+
+class _RecordingProgram(P4Program):
+    """Logs stage invocations."""
+
+    def __init__(self):
+        super().__init__()
+        self.calls = []
+
+    def parse(self, ctx):
+        self.calls.append("parse")
+
+    def ingress(self, ctx):
+        self.calls.append("ingress")
+        ctx.set_egress_port(0)
+
+    def egress(self, ctx):
+        self.calls.append("egress")
+
+    def deparse(self, ctx):
+        self.calls.append("deparse")
+
+
+def _switch_with(sim, quiet_network_factory, program_factory):
+    """A wired (but not finalized) switch bound to a custom program —
+    custom test programs have no route-installation hook."""
+    net = quiet_network_factory()
+    net.add_host("a")
+    net.add_host("b")
+    switch = net.add_switch("s01")
+    net.connect("a", "s01", rate_bps=mbps(10), delay=0.0)
+    net.connect("s01", "b", rate_bps=mbps(10), delay=0.0)
+    switch.bind_program(program_factory())
+    return switch
+
+
+def test_declare_register_and_table():
+    prog = P4Program()
+    reg = prog.declare_register("r", 4)
+    table = prog.declare_table("t")
+    assert prog.register("r") is reg
+    assert prog.table("t") is table
+
+
+def test_duplicate_declaration_rejected():
+    prog = P4Program()
+    prog.declare_register("r", 1)
+    with pytest.raises(DataPlaneError):
+        prog.declare_register("r", 1)
+    prog.declare_table("t")
+    with pytest.raises(DataPlaneError):
+        prog.declare_table("t")
+
+
+def test_unknown_resource_rejected():
+    prog = P4Program()
+    with pytest.raises(DataPlaneError):
+        prog.register("nope")
+    with pytest.raises(DataPlaneError):
+        prog.table("nope")
+
+
+def test_double_bind_rejected(sim, quiet_network_factory):
+    switch = _switch_with(sim, quiet_network_factory, PlainForwardingProgram)
+    with pytest.raises(DataPlaneError):
+        switch.program.bind(switch)
+
+
+def test_ingress_stage_sequence(sim, quiet_network_factory):
+    switch = _switch_with(sim, quiet_network_factory, _RecordingProgram)
+    prog = switch.program
+    prog.process_ingress(Packet(1, 2), 0)
+    assert prog.calls == ["parse", "ingress"]
+
+
+def test_egress_stage_sequence(sim, quiet_network_factory):
+    switch = _switch_with(sim, quiet_network_factory, _RecordingProgram)
+    prog = switch.program
+    prog.process_egress(Packet(1, 2), 0, 3)
+    assert prog.calls == ["parse", "egress", "deparse"]
+
+
+def test_unbound_program_rejected():
+    prog = _RecordingProgram()
+    with pytest.raises(DataPlaneError):
+        prog.process_ingress(Packet(1, 2), 0)
+    with pytest.raises(DataPlaneError):
+        prog.process_egress(Packet(1, 2), 0, 0)
+
+
+def test_ingress_must_forward_or_drop(sim, quiet_network_factory):
+    class Lazy(P4Program):
+        def ingress(self, ctx):
+            pass  # neither forwards nor drops
+
+    switch = _switch_with(sim, quiet_network_factory, Lazy)
+    with pytest.raises(DataPlaneError):
+        switch.program.process_ingress(Packet(1, 2), 0)
+
+
+def test_context_carries_enq_depth(sim, quiet_network_factory):
+    seen = []
+
+    class DepthSpy(P4Program):
+        def ingress(self, ctx):
+            ctx.set_egress_port(0)
+
+        def egress(self, ctx):
+            seen.append(ctx.enq_depth)
+
+    switch = _switch_with(sim, quiet_network_factory, DepthSpy)
+    switch.program.process_egress(Packet(1, 2), 0, 5)
+    assert seen == [5]
+
+
+def test_mark_drop(sim):
+    ctx = PipelineContext(Packet(1, 2), None, 0)
+    assert not ctx.dropped
+    ctx.mark_drop()
+    assert ctx.dropped

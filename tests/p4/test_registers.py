@@ -1,0 +1,67 @@
+"""Register array extern."""
+
+import pytest
+
+from repro.errors import DataPlaneError
+from repro.p4.registers import RegisterArray
+
+
+def test_initial_values():
+    reg = RegisterArray("r", 4, initial=7)
+    assert reg.snapshot() == [7, 7, 7, 7]
+
+
+def test_write_read():
+    reg = RegisterArray("r", 2)
+    reg.write(1, 42)
+    assert reg.read(1) == 42
+    assert reg.read(0) == 0
+
+
+def test_bounds_checked():
+    reg = RegisterArray("r", 2)
+    with pytest.raises(DataPlaneError):
+        reg.read(2)
+    with pytest.raises(DataPlaneError):
+        reg.write(-1, 0)
+    with pytest.raises(DataPlaneError):
+        reg.max_update(5, 1)
+    with pytest.raises(DataPlaneError):
+        reg.read_and_reset(2)
+
+
+def test_size_validated():
+    with pytest.raises(DataPlaneError):
+        RegisterArray("r", 0)
+
+
+def test_max_update_keeps_maximum():
+    reg = RegisterArray("r", 1)
+    assert reg.max_update(0, 5) == 5
+    assert reg.max_update(0, 3) == 5  # smaller value ignored
+    assert reg.max_update(0, 9) == 9
+    assert reg.read(0) == 9
+
+
+def test_read_and_reset_restores_initial():
+    reg = RegisterArray("r", 1, initial=2)
+    reg.write(0, 30)
+    assert reg.read_and_reset(0) == 30
+    assert reg.read(0) == 2
+
+
+def test_access_counters():
+    reg = RegisterArray("r", 1)
+    reg.write(0, 1)
+    reg.read(0)
+    reg.max_update(0, 2)
+    reg.read_and_reset(0)
+    assert reg.writes == 3
+    assert reg.reads == 2
+
+
+def test_snapshot_is_a_copy():
+    reg = RegisterArray("r", 2)
+    snap = reg.snapshot()
+    snap[0] = 99
+    assert reg.read(0) == 0

@@ -1,0 +1,80 @@
+"""Property tests: event-engine ordering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simnet.engine import Simulator
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=50))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), st.integers(0, 1)),
+        max_size=40,
+    )
+)
+def test_cancelled_events_never_fire(spec):
+    sim = Simulator()
+    fired = []
+    cancelled_ids = set()
+    for i, (delay, cancel) in enumerate(spec):
+        handle = sim.schedule(delay, lambda i=i: fired.append(i))
+        if cancel:
+            sim.cancel(handle)
+            cancelled_ids.add(i)
+    sim.run()
+    assert cancelled_ids.isdisjoint(fired)
+    assert len(fired) == len(spec) - len(cancelled_ids)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False), min_size=1, max_size=30))
+def test_clock_never_goes_backwards(delays):
+    sim = Simulator()
+    observed = []
+    for d in delays:
+        sim.schedule(d, lambda: observed.append(sim.now))
+    last = [0.0]
+
+    sim.run()
+    for a, b in zip(observed, observed[1:]):
+        assert b >= a
+
+
+@given(
+    st.integers(1, 20),
+    st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+)
+@settings(max_examples=50)
+def test_same_time_events_fire_fifo(n, t):
+    sim = Simulator()
+    fired = []
+    for i in range(n):
+        sim.schedule(t, fired.append, i)
+    sim.run()
+    assert fired == list(range(n))
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=30))
+def test_run_until_windows_partition_execution(delays):
+    """Running in two windows executes exactly the same events as one run."""
+    sim1 = Simulator()
+    fired1 = []
+    sim2 = Simulator()
+    fired2 = []
+    for d in delays:
+        sim1.schedule(d, fired1.append, d)
+        sim2.schedule(d, fired2.append, d)
+    sim1.run()
+    sim2.run(until=5.0)
+    sim2.run()
+    assert sorted(fired1) == sorted(fired2)

@@ -1,0 +1,73 @@
+"""Property tests: estimator and ranking invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import ecdf
+from repro.core.estimators import DelayEstimator, QdepthUtilizationCurve
+
+
+knots = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=10,
+).map(lambda pts: sorted({q: u for q, u in pts}.items()))
+
+
+@given(knots, st.floats(min_value=-10.0, max_value=200.0, allow_nan=False))
+def test_curve_output_always_in_unit_interval(pts, q):
+    # Force monotone utilization by cummax.
+    mono = []
+    best = 0.0
+    for depth, util in pts:
+        best = max(best, util)
+        mono.append((depth, best))
+    if len(mono) < 2:
+        return
+    curve = QdepthUtilizationCurve(mono)
+    u = curve.utilization(q)
+    assert 0.0 <= u <= 1.0
+
+
+@given(knots)
+def test_curve_monotone_everywhere(pts):
+    mono = []
+    best = 0.0
+    for depth, util in pts:
+        best = max(best, util)
+        mono.append((depth, best))
+    if len(mono) < 2:
+        return
+    curve = QdepthUtilizationCurve(mono)
+    qs = [i * 0.5 for i in range(0, 250)]
+    vals = [curve.utilization(q) for q in qs]
+    assert all(b >= a - 1e-12 for a, b in zip(vals, vals[1:]))
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 60), st.floats(min_value=0.0, max_value=2.0, allow_nan=False)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+)
+def test_calibrated_k_nonnegative_and_finite(samples, baseline):
+    k = DelayEstimator.calibrated_k(samples, baseline)
+    assert k >= 0.0
+    assert math.isfinite(k)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_ecdf_properties(values):
+    x, f = ecdf(values)
+    assert len(x) == len(f) == len(values)
+    assert list(x) == sorted(values)
+    assert all(0 < fi <= 1.0 for fi in f)
+    assert all(b >= a for a, b in zip(f, f[1:]))
+    assert f[-1] == 1.0

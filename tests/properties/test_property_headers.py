@@ -1,0 +1,72 @@
+"""Property tests: the INT header codec round-trips arbitrary stacks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p4.headers import (
+    IntHopRecord,
+    append_hop_record,
+    decode_probe_payload,
+    encode_probe_header,
+)
+
+# Field ranges the encoder guarantees to preserve exactly.
+records = st.builds(
+    IntHopRecord,
+    switch_id=st.integers(0, 0xFFFF),
+    egress_port=st.integers(0, 0xFF),
+    max_qdepth=st.integers(0, 0xFFFF),
+    link_latency=st.one_of(
+        st.none(),
+        st.floats(min_value=-1.0, max_value=60.0, allow_nan=False).map(
+            lambda x: round(x, 6)  # codec resolution: 1 µs
+        ),
+    ),
+    egress_ts=st.floats(min_value=0.0, max_value=1e6, allow_nan=False).map(
+        lambda x: round(x, 6)
+    ),
+)
+
+
+@given(st.lists(records, max_size=20))
+@settings(max_examples=200)
+def test_roundtrip_preserves_stack(stack):
+    payload = encode_probe_header(0)
+    for record in stack:
+        payload = append_hop_record(payload, record)
+    decoded = decode_probe_payload(payload)
+    assert len(decoded) == len(stack)
+    for orig, got in zip(stack, decoded):
+        assert got.switch_id == orig.switch_id
+        assert got.egress_port == orig.egress_port
+        assert got.max_qdepth == orig.max_qdepth
+        if orig.link_latency is None:
+            assert got.link_latency is None
+        else:
+            assert abs(got.link_latency - orig.link_latency) < 1e-6
+        assert abs(got.egress_ts - orig.egress_ts) < 1e-6
+
+
+@given(st.lists(records, min_size=1, max_size=10), st.integers(1, 16))
+def test_truncation_always_detected(stack, cut):
+    payload = encode_probe_header(0)
+    for record in stack:
+        payload = append_hop_record(payload, record)
+    import pytest
+
+    from repro.errors import PacketError
+
+    with pytest.raises(PacketError):
+        decode_probe_payload(payload[:-cut])
+
+
+@given(st.binary(max_size=64))
+def test_arbitrary_bytes_never_crash(data):
+    """The collector decodes hostile payloads: must raise PacketError or
+    return records, never anything else."""
+    from repro.errors import PacketError
+
+    try:
+        decode_probe_payload(data)
+    except PacketError:
+        pass

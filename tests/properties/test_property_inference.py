@@ -1,0 +1,87 @@
+"""Property tests: topology inference and the telemetry store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.telemetry_store import TelemetryStore
+from repro.core.topology_inference import InferredTopology
+from repro.p4.headers import IntHopRecord
+from repro.simnet.engine import Simulator
+from repro.telemetry.records import ProbeReport, host_node, switch_node
+
+
+# Random "physical" paths: host -> switches -> host, no repeated switches.
+paths = st.builds(
+    lambda src, switches, dst: [host_node(src)]
+    + [switch_node(s) for s in switches]
+    + [host_node(dst)],
+    src=st.integers(1, 5),
+    switches=st.lists(st.integers(10, 30), unique=True, max_size=6),
+    dst=st.integers(6, 9),
+)
+
+
+@given(st.lists(paths, min_size=1, max_size=15))
+@settings(max_examples=80)
+def test_observed_endpoints_always_connected(observed):
+    topo = InferredTopology()
+    for path in observed:
+        topo.observe_path(path)
+    # Every observed (src, dst) pair must be connected by *some* inferred
+    # path whose intermediate nodes are switches.
+    for path in observed:
+        found = topo.path(path[0], path[-1])
+        assert found[0] == path[0]
+        assert found[-1] == path[-1]
+        assert all(n[0] == "sw" for n in found[1:-1])
+        # The inferred path can never beat the shortest observation.
+        assert len(found) <= len(path)
+
+
+@given(st.lists(paths, min_size=1, max_size=15))
+@settings(max_examples=40)
+def test_inferred_edges_only_from_observations(observed):
+    topo = InferredTopology()
+    legit = set()
+    for path in observed:
+        topo.observe_path(path)
+        legit.update(zip(path, path[1:]))
+    assert set(topo.graph.edges) == legit
+
+
+qdepth_updates = st.lists(
+    st.tuples(
+        st.floats(0.0, 10.0, allow_nan=False),   # inter-report gap
+        st.integers(0, 60),                       # reading
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(qdepth_updates)
+@settings(max_examples=60, deadline=None)
+def test_store_qdepth_never_below_latest_window_max(updates):
+    """After any update sequence, the stored value is >= the largest reading
+    delivered within the last window, and never negative."""
+    sim = Simulator()
+    store = TelemetryStore(sim, staleness=1e9, qdepth_window=0.5)
+
+    def report(q):
+        return ProbeReport(
+            probe_src=1, probe_dst=2, seq=0, sent_at=0.0, received_at=0.0,
+            records=[IntHopRecord(switch_id=7, egress_port=0, max_qdepth=q,
+                                  link_latency=0.01, egress_ts=0.0)],
+            final_link_latency=0.01,
+        )
+
+    recent = []
+    for gap, reading in updates:
+        sim.schedule(gap, lambda: None)
+        sim.run()
+        store.update(report(reading))
+        recent = [(t, q) for t, q in recent if sim.now - t <= 0.5]
+        recent.append((sim.now, reading))
+        stored = store.max_qdepth(switch_node(7), host_node(2))
+        assert stored >= max(q for _t, q in recent)
+        assert stored >= 0

@@ -1,0 +1,101 @@
+"""Property tests: workload and background plans are well-formed for any
+valid specification."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edge.background import BackgroundTraffic, TrafficScenario
+from repro.edge.task import TABLE_I, SizeClass
+from repro.edge.workload import (
+    WORKLOAD_DISTRIBUTED,
+    WORKLOAD_SERVERLESS,
+    WorkloadSpec,
+    build_plan,
+)
+from repro.simnet.random import RandomStreams
+
+DEVICES = ["node1", "node2", "node3", "node7"]
+
+specs = st.builds(
+    WorkloadSpec,
+    workload=st.sampled_from([WORKLOAD_SERVERLESS, WORKLOAD_DISTRIBUTED]),
+    size_class=st.sampled_from(list(SizeClass)),
+    total_tasks=st.integers(1, 120),
+    mean_interarrival=st.floats(0.05, 10.0, allow_nan=False),
+    scale=st.floats(0.01, 1.0, allow_nan=False),
+)
+
+
+@given(specs, st.integers(0, 2**20))
+@settings(max_examples=80)
+def test_plan_invariants(spec, seed):
+    plan = build_plan(spec, DEVICES, RandomStreams(seed).get("w"))
+    # Exact task count.
+    assert sum(len(j.task_shapes) for j in plan.jobs) == spec.total_tasks
+    # Job sizes: all full except possibly the last.
+    sizes = [len(j.task_shapes) for j in plan.jobs]
+    assert all(s == spec.tasks_per_job for s in sizes[:-1])
+    assert 1 <= sizes[-1] <= spec.tasks_per_job
+    # Arrivals strictly increase and devices come from the pool.
+    times = [j.arrival_time for j in plan.jobs]
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert all(j.device_name in DEVICES for j in plan.jobs)
+    # Shapes respect the (scaled) Table I ranges.
+    (d_lo, d_hi), (e_lo, e_hi) = TABLE_I[spec.size_class]
+    for job in plan.jobs:
+        for data, exec_time in job.task_shapes:
+            assert 0 <= data <= d_hi * spec.scale + 1
+            assert 0 <= exec_time <= e_hi * spec.scale + 1e-9
+
+
+@given(specs, st.integers(0, 2**20))
+@settings(max_examples=30)
+def test_plan_paired_across_calls(spec, seed):
+    p1 = build_plan(spec, DEVICES, RandomStreams(seed).get("w"))
+    p2 = build_plan(spec, DEVICES, RandomStreams(seed).get("w"))
+    assert p1.jobs == p2.jobs
+
+
+scenarios = st.builds(
+    TrafficScenario,
+    name=st.just("prop"),
+    slots=st.integers(1, 4),
+    duration_choices=st.lists(st.floats(0.5, 30.0, allow_nan=False), min_size=1, max_size=3).map(tuple),
+    gap_choices=st.lists(st.floats(0.0, 30.0, allow_nan=False), min_size=1, max_size=3).map(tuple),
+    stagger=st.floats(0.0, 20.0, allow_nan=False),
+    rate_fraction_range=st.tuples(st.floats(0.1, 0.5), st.floats(0.5, 1.0)),
+)
+
+
+@given(scenarios, st.integers(0, 2**20), st.floats(5.0, 120.0, allow_nan=False))
+@settings(max_examples=60, deadline=None)
+def test_background_plan_invariants(scenario, seed, horizon):
+    from repro.simnet.engine import Simulator
+    from repro.simnet.topology import Network
+    from repro.units import mbps, ms
+
+    sim = Simulator()
+    net = Network(sim, RandomStreams(0))
+    for h in ("h1", "h2", "h3"):
+        net.add_host(h)
+    net.add_switch("s01")
+    for h in ("h1", "h2", "h3"):
+        net.attach_host(h, "s01", fabric_rate_bps=mbps(20), delay=ms(1))
+    net.finalize()
+    bg = BackgroundTraffic(
+        sim,
+        {n: net.host(n) for n in net.hosts},
+        {n: net.address_of(n) for n in net.hosts},
+        scenario,
+        RandomStreams(seed).get("bg"),
+        link_capacity_bps=mbps(20),
+        horizon=horizon,
+    )
+    starts = [p.start_time for p in bg.plan]
+    assert starts == sorted(starts)
+    lo, hi = scenario.rate_fraction_range
+    for p in bg.plan:
+        assert p.src_name != p.dst_name
+        assert 0.0 <= p.start_time < horizon
+        assert lo * mbps(20) <= p.rate_bps <= hi * mbps(20) + 1e-6
+        assert p.duration in scenario.duration_choices

@@ -1,0 +1,53 @@
+"""Address book behaviour."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simnet.addressing import AddressBook
+
+
+def test_register_assigns_increasing_addresses():
+    book = AddressBook()
+    a = book.register("h1")
+    b = book.register("h2")
+    assert b == a + 1
+    assert a >= 1  # address 0 reserved
+
+
+def test_roundtrip():
+    book = AddressBook()
+    addr = book.register("node7")
+    assert book.address_of("node7") == addr
+    assert book.name_of(addr) == "node7"
+
+
+def test_duplicate_name_rejected():
+    book = AddressBook()
+    book.register("h1")
+    with pytest.raises(TopologyError):
+        book.register("h1")
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(TopologyError):
+        AddressBook().address_of("ghost")
+
+
+def test_unknown_address_rejected():
+    with pytest.raises(TopologyError):
+        AddressBook().name_of(99)
+
+
+def test_contains_and_len():
+    book = AddressBook()
+    book.register("a")
+    book.register("b")
+    assert "a" in book and "c" not in book
+    assert len(book) == 2
+
+
+def test_names_iteration():
+    book = AddressBook()
+    for n in ("x", "y", "z"):
+        book.register(n)
+    assert list(book.names()) == ["x", "y", "z"]

@@ -1,0 +1,212 @@
+"""Discrete-event engine: ordering, cancellation, timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.engine import PeriodicTimer, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_events_run_in_time_order(self, sim):
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self, sim):
+        log = []
+        for label in "abcde":
+            sim.schedule(1.0, log.append, label)
+        sim.run()
+        assert log == list("abcde")
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+
+    def test_nested_scheduling(self, sim):
+        log = []
+
+        def outer():
+            log.append(("outer", sim.now))
+            sim.schedule(0.5, inner)
+
+        def inner():
+            log.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert log == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_schedule_in_past_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_zero_delay_event_runs(self, sim):
+        log = []
+        sim.schedule(0.0, log.append, 1)
+        sim.run()
+        assert log == [1]
+
+    def test_events_executed_counter(self, sim):
+        for i in range(7):
+            sim.schedule(i * 0.1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 7
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        log = []
+        sim.schedule(1.0, log.append, "early")
+        sim.schedule(10.0, log.append, "late")
+        sim.run(until=5.0)
+        assert log == ["early"]
+        assert sim.now == 5.0  # clock advanced to the window edge
+
+    def test_run_until_then_continue(self, sim):
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(7.0, log.append, "b")
+        sim.run(until=5.0)
+        sim.run(until=10.0)
+        assert log == ["a", "b"]
+
+    def test_max_events(self, sim):
+        log = []
+        for i in range(10):
+            sim.schedule(i * 0.1 + 0.1, log.append, i)
+        sim.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_stop_from_inside_event(self, sim):
+        log = []
+        sim.schedule(1.0, lambda: (log.append("a"), sim.stop()))
+        sim.schedule(2.0, log.append, "b")
+        sim.run()
+        assert log[0] == "a"
+        assert "b" not in log
+
+    def test_step_returns_false_on_empty(self, sim):
+        assert sim.step() is False
+
+    def test_step_executes_one(self, sim):
+        log = []
+        sim.schedule(1.0, log.append, 1)
+        sim.schedule(2.0, log.append, 2)
+        assert sim.step() is True
+        assert log == [1]
+
+    def test_reentrant_run_rejected(self, sim):
+        def evil():
+            sim.run()
+
+        sim.schedule(1.0, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        log = []
+        handle = sim.schedule(1.0, log.append, "x")
+        sim.cancel(handle)
+        sim.run()
+        assert log == []
+
+    def test_double_cancel_rejected(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.cancel(handle)
+        with pytest.raises(SimulationError):
+            sim.cancel(handle)
+
+    def test_cancel_after_fire_rejected(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.cancel(handle)
+
+    def test_pending_events_excludes_cancelled(self, sim):
+        h1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(h1)
+        assert sim.pending_events() == 1
+
+    def test_cancelled_counter(self, sim):
+        h = sim.schedule(1.0, lambda: None)
+        sim.cancel(h)
+        assert sim.events_cancelled == 1
+
+
+class TestPeriodicTimer:
+    def test_fires_at_period(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        assert times == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_custom_start_delay(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now), start_delay=0.25)
+        timer.start()
+        sim.run(until=2.5)
+        assert times == pytest.approx([0.25, 1.25, 2.25])
+
+    def test_stop_halts_firing(self, sim):
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert times == pytest.approx([1.0, 2.0])
+
+    def test_double_start_rejected(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        with pytest.raises(SimulationError):
+            timer.start()
+
+    def test_stop_before_start_is_noop(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.stop()  # must not raise
+
+    def test_nonpositive_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+
+    def test_fire_count(self, sim):
+        timer = PeriodicTimer(sim, 0.5, lambda: None)
+        timer.start()
+        sim.run(until=2.6)
+        assert timer.fire_count == 5
+
+    def test_jitter_fn_applied(self, sim):
+        times = []
+        timer = PeriodicTimer(
+            sim, 1.0, lambda: times.append(sim.now), jitter_fn=lambda: 0.1
+        )
+        timer.start()
+        sim.run(until=3.5)
+        # First firing at the plain start delay, then period + jitter.
+        assert times == pytest.approx([1.0, 2.1, 3.2])
+
+    def test_args_passed(self, sim):
+        log = []
+        timer = PeriodicTimer(sim, 1.0, log.append, "tick")
+        timer.start()
+        sim.run(until=2.5)
+        assert log == ["tick", "tick"]

@@ -1,0 +1,216 @@
+"""Traffic sources: CBR, the reliable transport, and ping."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet.flows import (
+    MSS,
+    PingApp,
+    PingResponder,
+    ReliableTransfer,
+    TransferSinkApp,
+    UdpCbrFlow,
+    UdpSink,
+)
+from repro.simnet.random import RandomStreams
+from repro.units import mbps, ms
+
+
+class TestUdpCbr:
+    def test_cbr_rate_achieved(self, sim, dumbbell):
+        net = dumbbell
+        sink = UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(4), burstiness="cbr")
+        flow.run_for(10.0)
+        sim.run(until=12.0)
+        assert sink.throughput_bps(flow.flow_id) == pytest.approx(mbps(4), rel=0.05)
+
+    def test_poisson_rate_achieved_on_average(self, sim, dumbbell):
+        net = dumbbell
+        sink = UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(
+            net.host("h1"),
+            net.address_of("h2"),
+            mbps(4),
+            rng=RandomStreams(5).get("f"),
+        )
+        flow.run_for(30.0)
+        sim.run(until=32.0)
+        assert sink.throughput_bps(flow.flow_id) == pytest.approx(mbps(4), rel=0.15)
+
+    def test_stop_halts_emission(self, sim, dumbbell):
+        net = dumbbell
+        flow = UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(4), burstiness="cbr")
+        flow.start()
+        sim.run(until=1.0)
+        flow.stop()
+        emitted = flow.packets_emitted
+        sim.run(until=3.0)
+        assert flow.packets_emitted == emitted
+
+    def test_poisson_requires_rng(self, sim, dumbbell):
+        with pytest.raises(SimulationError):
+            UdpCbrFlow(dumbbell.host("h1"), 2, mbps(1), burstiness="poisson")
+
+    def test_invalid_rate_rejected(self, sim, dumbbell):
+        with pytest.raises(SimulationError):
+            UdpCbrFlow(dumbbell.host("h1"), 2, 0.0, burstiness="cbr")
+
+    def test_unknown_burstiness_rejected(self, sim, dumbbell):
+        with pytest.raises(SimulationError):
+            UdpCbrFlow(dumbbell.host("h1"), 2, mbps(1), burstiness="weird")
+
+    def test_double_start_rejected(self, sim, dumbbell):
+        flow = UdpCbrFlow(dumbbell.host("h1"), 2, mbps(1), burstiness="cbr")
+        flow.start()
+        with pytest.raises(SimulationError):
+            flow.start()
+
+    def test_sink_counts_per_flow(self, sim, dumbbell):
+        net = dumbbell
+        sink = UdpSink(net.host("h2"))
+        f1 = UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(2), burstiness="cbr")
+        f2 = UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(2), burstiness="cbr")
+        f1.run_for(2.0)
+        f2.run_for(2.0)
+        sim.run(until=3.0)
+        assert sink.packets_by_flow[f1.flow_id] > 0
+        assert sink.packets_by_flow[f2.flow_id] > 0
+
+
+class TestReliableTransfer:
+    def _run_transfer(self, sim, net, nbytes, src="h1", dst="h2", until=200.0):
+        done = []
+        sink = TransferSinkApp(net.host(dst), 6000, on_flow_complete=lambda s: done.append(s))
+        transfer = ReliableTransfer(
+            net.host(src), net.address_of(dst), 6000, nbytes,
+            on_complete=lambda t: done.append(t),
+        )
+        transfer.start()
+        sim.run(until=until)
+        return transfer, sink, done
+
+    def test_small_transfer_completes(self, sim, dumbbell):
+        transfer, sink, done = self._run_transfer(sim, dumbbell, 10 * MSS)
+        assert transfer.done
+        assert len(done) == 2  # receiver completion + sender completion
+
+    def test_receiver_gets_all_bytes(self, sim, dumbbell):
+        nbytes = 25 * MSS + 100
+        transfer, sink, _ = self._run_transfer(sim, dumbbell, nbytes)
+        state = sink.completed[0]
+        assert state.bytes_received == nbytes
+        assert state.complete
+
+    def test_zero_byte_transfer_completes_immediately(self, sim, dumbbell):
+        transfer = ReliableTransfer(dumbbell.host("h1"), dumbbell.address_of("h2"), 6000, 0)
+        transfer.start()
+        assert transfer.done
+        assert transfer.elapsed == 0.0
+
+    def test_throughput_near_capacity(self, sim, dumbbell):
+        """A 2 MB transfer over an uncongested 20 Mb/s path should achieve a
+        large fraction of capacity once past slow start."""
+        nbytes = 2_000_000
+        transfer, _, _ = self._run_transfer(sim, dumbbell, nbytes, until=300.0)
+        assert transfer.done
+        goodput = nbytes * 8.0 / transfer.elapsed
+        assert goodput > 0.55 * mbps(20)
+
+    def test_transfer_completes_despite_losses(self, sim, quiet_network_factory):
+        """A tiny egress queue forces drops; recovery must still finish."""
+        net = quiet_network_factory()
+        net.add_host("h1")
+        net.add_host("h2")
+        net.add_switch("s01")
+        net.attach_host("h1", "s01", fabric_rate_bps=mbps(20), delay=ms(5), queue_capacity=4)
+        net.attach_host("h2", "s01", fabric_rate_bps=mbps(20), delay=ms(5), queue_capacity=4)
+        net.finalize()
+        done = []
+        TransferSinkApp(net.host("h2"), 6000, on_flow_complete=lambda s: done.append(s))
+        transfer = ReliableTransfer(net.host("h1"), net.address_of("h2"), 6000, 100 * MSS)
+        transfer.start()
+        sim.run(until=300.0)
+        assert transfer.done
+        assert transfer.retransmissions > 0  # losses actually happened
+
+    def test_two_transfers_share_bottleneck(self, sim, line3):
+        """Two concurrent transfers through the shared s01->s02 link each get
+        a nontrivial share and both finish."""
+        net = line3
+        TransferSinkApp(net.host("h2"), 6000)
+        TransferSinkApp(net.host("h3"), 6000)
+        t1 = ReliableTransfer(net.host("h1"), net.address_of("h2"), 6000, 500_000)
+        t2 = ReliableTransfer(net.host("h1"), net.address_of("h3"), 6000, 500_000)
+        t1.start()
+        t2.start()
+        sim.run(until=300.0)
+        assert t1.done and t2.done
+        ratio = t1.elapsed / t2.elapsed
+        assert 0.3 < ratio < 3.0
+
+    def test_negative_size_rejected(self, sim, dumbbell):
+        with pytest.raises(SimulationError):
+            ReliableTransfer(dumbbell.host("h1"), 2, 6000, -1)
+
+    def test_double_start_rejected(self, sim, dumbbell):
+        TransferSinkApp(dumbbell.host("h2"), 6000)
+        t = ReliableTransfer(dumbbell.host("h1"), dumbbell.address_of("h2"), 6000, MSS)
+        t.start()
+        with pytest.raises(SimulationError):
+            t.start()
+
+    def test_elapsed_before_completion_rejected(self, sim, dumbbell):
+        t = ReliableTransfer(dumbbell.host("h1"), dumbbell.address_of("h2"), 6000, MSS)
+        with pytest.raises(SimulationError):
+            _ = t.elapsed
+
+    def test_metadata_delivered_to_sink(self, sim, dumbbell):
+        got = []
+        TransferSinkApp(dumbbell.host("h2"), 6000, on_flow_complete=lambda s: got.append(s.metadata))
+        t = ReliableTransfer(
+            dumbbell.host("h1"), dumbbell.address_of("h2"), 6000, 3 * MSS,
+            metadata={"task_id": 17},
+        )
+        t.start()
+        sim.run(until=60.0)
+        assert got == [{"task_id": 17}]
+
+    def test_rtt_estimator_converges(self, sim, dumbbell):
+        TransferSinkApp(dumbbell.host("h2"), 6000)
+        t = ReliableTransfer(dumbbell.host("h1"), dumbbell.address_of("h2"), 6000, 50 * MSS)
+        t.start()
+        sim.run(until=120.0)
+        # Base RTT is ~41 ms (2 x 2 links x 10 ms + serialization).
+        assert t._srtt == pytest.approx(0.042, abs=0.02)
+
+
+class TestPing:
+    def test_rtt_matches_topology(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        net.add_host("h1")
+        net.add_host("h2")
+        net.add_switch("s01")
+        net.attach_host("h1", "s01", fabric_rate_bps=mbps(20), delay=ms(10))
+        net.attach_host("h2", "s01", fabric_rate_bps=mbps(20), delay=ms(10))
+        net.finalize()
+        PingResponder(net.host("h2"))
+        ping = PingApp(net.host("h1"), net.address_of("h2"))
+        ping.start()
+        sim.run(until=5.5)
+        # 4 x 10 ms propagation + small serialization of 64 B frames.
+        assert ping.mean_rtt == pytest.approx(0.040, abs=0.002)
+        assert len(ping.rtt_samples) == 6  # pings at t = 0, 1, ..., 5
+
+    def test_no_samples_raises(self, sim, dumbbell):
+        ping = PingApp(dumbbell.host("h1"), dumbbell.address_of("h2"))
+        with pytest.raises(SimulationError):
+            _ = ping.mean_rtt
+
+    def test_responder_counts(self, sim, dumbbell):
+        responder = PingResponder(dumbbell.host("h2"))
+        ping = PingApp(dumbbell.host("h1"), dumbbell.address_of("h2"), interval=0.5)
+        ping.start()
+        sim.run(until=2.2)
+        assert responder.requests_echoed == ping.sent == 5  # t = 0, 0.5, ... 2.0
+        assert ping.lost_or_pending == 0

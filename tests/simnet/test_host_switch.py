@@ -1,0 +1,139 @@
+"""Host demultiplexing and switch forwarding behaviour."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.simnet.addressing import PROTO_TCP, PROTO_UDP
+from repro.simnet.packet import Packet
+from repro.units import mbps, ms
+
+
+class TestHostDemux:
+    def test_delivery_by_protocol_and_port(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=mbps(20), delay=0.0)
+        net.finalize()
+        udp_hits, tcp_hits = [], []
+        b = net.host("b")
+        b.bind(PROTO_UDP, 100, lambda p: udp_hits.append(p))
+        b.bind(PROTO_TCP, 100, lambda p: tcp_hits.append(p))
+        a = net.host("a")
+        a.send(a.new_packet(b.addr, protocol=PROTO_UDP, dst_port=100))
+        a.send(a.new_packet(b.addr, protocol=PROTO_TCP, dst_port=100))
+        sim.run()
+        assert len(udp_hits) == 1 and len(tcp_hits) == 1
+
+    def test_unbound_port_counts_unclaimed(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=mbps(20), delay=0.0)
+        net.finalize()
+        a, b = net.host("a"), net.host("b")
+        a.send(a.new_packet(b.addr, dst_port=999))
+        sim.run()
+        assert b.packets_unclaimed == 1
+        assert b.packets_delivered == 0
+
+    def test_double_bind_rejected(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        host = net.add_host("a")
+        host.bind(PROTO_UDP, 5, lambda p: None)
+        with pytest.raises(TopologyError):
+            host.bind(PROTO_UDP, 5, lambda p: None)
+
+    def test_unbind_then_rebind(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        host = net.add_host("a")
+        host.bind(PROTO_UDP, 5, lambda p: None)
+        host.unbind(PROTO_UDP, 5)
+        host.bind(PROTO_UDP, 5, lambda p: None)  # no error
+
+    def test_unbind_unbound_rejected(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        host = net.add_host("a")
+        with pytest.raises(TopologyError):
+            host.unbind(PROTO_UDP, 5)
+
+    def test_ephemeral_ports_unique(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        host = net.add_host("a")
+        ports = {host.ephemeral_port() for _ in range(50)}
+        assert len(ports) == 50
+
+    def test_send_without_link_rejected(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        host = net.add_host("a")
+        with pytest.raises(TopologyError):
+            host.send(Packet(host.addr, 99))
+
+    def test_misaddressed_packet_dropped_at_host(self, sim, quiet_network_factory):
+        """A packet whose dst is not this host dies here (hosts don't route)."""
+        net = quiet_network_factory()
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=mbps(20), delay=0.0)
+        net.finalize()
+        a, b = net.host("a"), net.host("b")
+        a.send(a.new_packet(999, dst_port=5))  # bogus destination
+        sim.run()
+        assert b.packets_dropped == 1
+
+
+class TestSwitchForwarding:
+    def test_forwards_between_hosts(self, sim, dumbbell):
+        net = dumbbell
+        got = []
+        net.host("h2").bind(PROTO_UDP, 7, lambda p: got.append(p))
+        h1 = net.host("h1")
+        h1.send(h1.new_packet(net.address_of("h2"), dst_port=7))
+        sim.run()
+        assert len(got) == 1
+        assert net.switch("s01").packets_forwarded == 1
+
+    def test_ttl_decremented_per_switch(self, sim, line3):
+        net = line3
+        got = []
+        net.host("h2").bind(PROTO_UDP, 7, lambda p: got.append(p.ttl))
+        h1 = net.host("h1")
+        h1.send(h1.new_packet(net.address_of("h2"), dst_port=7))
+        sim.run()
+        assert got == [62]  # 64 - 2 switches
+
+    def test_hop_count_incremented(self, sim, line3):
+        net = line3
+        got = []
+        net.host("h2").bind(PROTO_UDP, 7, lambda p: got.append(p.hop_count))
+        h1 = net.host("h1")
+        h1.send(h1.new_packet(net.address_of("h2"), dst_port=7))
+        sim.run()
+        assert got == [2]
+
+    def test_expired_ttl_dropped(self, sim, line3):
+        net = line3
+        got = []
+        net.host("h2").bind(PROTO_UDP, 7, lambda p: got.append(p))
+        h1 = net.host("h1")
+        pkt = h1.new_packet(net.address_of("h2"), dst_port=7)
+        pkt.ttl = 1
+        h1.send(pkt)
+        sim.run()
+        assert got == []
+        assert net.switch("s01").packets_dropped_pipeline == 1
+
+    def test_unroutable_destination_dropped(self, sim, dumbbell):
+        net = dumbbell
+        h1 = net.host("h1")
+        h1.send(h1.new_packet(12345, dst_port=7))
+        sim.run()
+        assert net.switch("s01").packets_dropped_pipeline == 1
+
+    def test_switch_counts_received(self, sim, dumbbell):
+        net = dumbbell
+        h1 = net.host("h1")
+        for _ in range(3):
+            h1.send(h1.new_packet(net.address_of("h2"), dst_port=7))
+        sim.run()
+        assert net.switch("s01").packets_received == 3

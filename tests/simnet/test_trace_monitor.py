@@ -1,0 +1,146 @@
+"""Packet tracing and ground-truth monitoring instrumentation."""
+
+import pytest
+
+from repro.simnet.addressing import PROTO_UDP
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.monitor import QueueSampler, link_utilizations
+from repro.simnet.trace import PacketTracer, flow_predicate, probe_predicate
+from repro.units import mbps, ms, transmission_time
+
+
+class TestPacketTracer:
+    def _all_nodes(self, net):
+        return list(net.hosts.values()) + list(net.switches.values())
+
+    def test_records_full_path(self, sim, line3):
+        net = line3
+        tracer = PacketTracer(self._all_nodes(net))
+        net.host("h2").bind(PROTO_UDP, 9, lambda p: None)
+        h1 = net.host("h1")
+        pkt = h1.new_packet(net.address_of("h2"), dst_port=9)
+        h1.send(pkt)
+        sim.run()
+        assert tracer.path_of(pkt.packet_id) == ["s01", "s02", "h2"]
+
+    def test_predicate_filters(self, sim, line3):
+        net = line3
+        sink = UdpSink(net.host("h2"))
+        f1 = UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(2), burstiness="cbr")
+        f2 = UdpCbrFlow(net.host("h3"), net.address_of("h2"), mbps(2), burstiness="cbr")
+        tracer = PacketTracer(self._all_nodes(net), predicate=flow_predicate(f1.flow_id))
+        f1.run_for(1.0)
+        f2.run_for(1.0)
+        sim.run(until=2.0)
+        assert len(tracer) > 0
+        assert all(e.flow_id == f1.flow_id for e in tracer.events)
+
+    def test_drop_events_recorded(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=mbps(1), delay=0.0, queue_capacity=2)
+        net.finalize()
+        tracer = PacketTracer([net.host("a")])
+        a = net.host("a")
+        for i in range(10):
+            a.send(a.new_packet(net.address_of("b"), dst_port=9, size_bytes=1500, seq=i))
+        sim.run()
+        assert len(tracer.drops()) == 7  # 1 in service + 2 queued survive
+
+    def test_one_way_delay(self, sim, line3):
+        net = line3
+        tracer = PacketTracer(self._all_nodes(net))
+        net.host("h2").bind(PROTO_UDP, 9, lambda p: None)
+        h1 = net.host("h1")
+        pkt = h1.new_packet(net.address_of("h2"), dst_port=9, size_bytes=1500)
+        h1.send(pkt)
+        sim.run()
+        delay = tracer.one_way_delay(pkt.packet_id)
+        # h1 egress -> h2 ingress: 3 links of 10 ms, fast host injection,
+        # two fabric serializations (loose tolerance: switch service jitter).
+        expected = (
+            3 * ms(10)
+            + transmission_time(1500, mbps(200))
+            + 2 * transmission_time(1500, mbps(20))
+        )
+        assert delay == pytest.approx(expected, rel=0.1)
+
+    def test_detach_restores_handlers(self, sim, line3):
+        net = line3
+        nodes = self._all_nodes(net)
+        originals = [n.on_ingress for n in nodes]
+        tracer = PacketTracer(nodes)
+        tracer.detach()
+        net.host("h2").bind(PROTO_UDP, 9, lambda p: None)
+        h1 = net.host("h1")
+        h1.send(h1.new_packet(net.address_of("h2"), dst_port=9))
+        sim.run()
+        assert len(tracer) == 0  # nothing recorded after detach
+
+    def test_truncation_cap(self, sim, line3):
+        net = line3
+        tracer = PacketTracer(self._all_nodes(net), max_events=5)
+        sink = UdpSink(net.host("h2"))
+        UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(5), burstiness="cbr").run_for(1.0)
+        sim.run(until=2.0)
+        assert len(tracer) == 5
+        assert tracer.truncated
+
+    def test_probe_predicate(self, sim, line3):
+        from repro.telemetry.collector import IntCollector
+        from repro.telemetry.probe import ProbeResponder, ProbeSender
+
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        ProbeResponder(net.host("h3"), collector=collector)
+        ProbeSender(net.host("h1"), [net.address_of("h3")]).start()
+        UdpSink(net.host("h2"))
+        UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(2), burstiness="cbr").run_for(1.0)
+        tracer = PacketTracer([net.switch("s01")], predicate=probe_predicate)
+        sim.run(until=1.0)
+        assert len(tracer) > 0
+        assert all(e.kind in ("ingress", "egress") for e in tracer.events)
+
+
+class TestQueueSampler:
+    def test_samples_backlog(self, sim, line3):
+        net = line3
+        port = net.switch("s01").port(net.port_toward("s01", "s02"))
+        sampler = QueueSampler(sim, [port], interval=0.01)
+        sampler.start()
+        UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(19),
+            rng=__import__("repro.simnet.random", fromlist=["RandomStreams"]).RandomStreams(1).get("f"),
+        )
+        flow.run_for(2.0)
+        sim.run(until=2.0)
+        assert sampler.max_depth(port) > 0
+        series = sampler.samples["s01[1]"]
+        assert len(series) == pytest.approx(200, abs=5)
+
+    def test_stop_halts_sampling(self, sim, line3):
+        port = net_port = line3.switch("s01").port(0)
+        sampler = QueueSampler(sim, [port], interval=0.01)
+        sampler.start()
+        sim.run(until=0.5)
+        sampler.stop()
+        n = len(sampler.samples["s01[0]"])
+        sim.run(until=1.0)
+        assert len(sampler.samples["s01[0]"]) == n
+
+
+class TestLinkUtilizations:
+    def test_idle_zero(self, sim, line3):
+        out = link_utilizations(line3, window=1.0)
+        assert all(v == 0.0 for v in out.values())
+
+    def test_loaded_direction_measured(self, sim, line3):
+        net = line3
+        UdpSink(net.host("h2"))
+        UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(10), burstiness="cbr").run_for(2.0)
+        sim.run(until=2.0)
+        out = link_utilizations(net, window=2.0)
+        loaded = out["s01<->s02:a"]
+        assert loaded == pytest.approx(0.5, abs=0.1)

@@ -1,0 +1,110 @@
+"""Adaptive probing: rate control follows congestion state."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.telemetry.adaptive import AdaptiveProbingController, ProbeRateListener
+from repro.telemetry.collector import IntCollector
+from repro.telemetry.probe import ProbeResponder, ProbeSender
+from repro.units import mbps
+
+
+@pytest.fixture
+def adaptive_system(sim, line3):
+    """h1 probes h3 (collector); controller governs h1's rate."""
+    net = line3
+    collector = IntCollector(net.host("h3"))
+    ProbeResponder(net.host("h3"), collector=collector)
+    sender = ProbeSender(net.host("h1"), [net.address_of("h3")], interval=0.1)
+    sender.start()
+    ProbeRateListener(net.host("h1"), sender)
+    controller = AdaptiveProbingController(
+        net.host("h3"),
+        collector,
+        [net.address_of("h1")],
+        fast_interval=0.1,
+        slow_interval=1.0,
+        cooldown=1.0,
+    )
+    return net, collector, sender, controller
+
+
+def test_idle_network_slows_probing(sim, adaptive_system):
+    net, collector, sender, controller = adaptive_system
+    sim.run(until=5.0)
+    assert controller.current_interval == 1.0
+    assert sender.interval == 1.0
+    assert controller.rate_changes == 1  # fast -> slow once
+
+
+def test_congestion_restores_fast_probing(sim, adaptive_system):
+    net, collector, sender, controller = adaptive_system
+    sim.run(until=5.0)  # now slow
+    UdpSink(net.host("h2"))
+    flow = UdpCbrFlow(
+        net.host("h1"), net.address_of("h2"), mbps(19),
+        rng=RandomStreams(4).get("f"),
+    )
+    flow.run_for(4.0)
+    sim.run(until=8.0)
+    assert controller.current_interval == 0.1
+    assert sender.interval == 0.1
+
+
+def test_quiet_after_congestion_slows_again(sim, adaptive_system):
+    net, collector, sender, controller = adaptive_system
+    UdpSink(net.host("h2"))
+    flow = UdpCbrFlow(
+        net.host("h1"), net.address_of("h2"), mbps(19),
+        rng=RandomStreams(4).get("f"),
+    )
+    flow.run_for(2.0)
+    sim.run(until=2.5)
+    assert controller.current_interval == 0.1
+    sim.run(until=10.0)  # congestion over + cooldown elapsed
+    assert controller.current_interval == 1.0
+
+
+def test_overhead_reduced_when_idle(sim, adaptive_system):
+    """Adaptive probing sends roughly 10x fewer probes on an idle network."""
+    net, collector, sender, controller = adaptive_system
+    sim.run(until=30.0)
+    # ~first decision at 0.5s runs fast; after that 1/s.
+    assert sender.probes_sent < 0.5 * (30.0 / 0.1)
+
+
+def test_probe_sender_set_interval_validation(sim, line3):
+    sender = ProbeSender(line3.host("h1"), [line3.address_of("h3")])
+    with pytest.raises(TelemetryError):
+        sender.set_interval(0.0)
+    sender.set_interval(0.5)
+    assert sender.interval == 0.5
+
+
+def test_controller_validation(sim, line3):
+    collector = IntCollector(line3.host("h3"))
+    with pytest.raises(TelemetryError):
+        AdaptiveProbingController(
+            line3.host("h3"), collector, [1], fast_interval=2.0, slow_interval=1.0
+        )
+    with pytest.raises(TelemetryError):
+        AdaptiveProbingController(
+            line3.host("h3"), collector, [1], fast_interval=0.0
+        )
+
+
+def test_listener_ignores_garbage(sim, line3):
+    net = line3
+    sender = ProbeSender(net.host("h1"), [net.address_of("h3")], interval=0.1)
+    listener = ProbeRateListener(net.host("h1"), sender)
+    from repro.telemetry.adaptive import PORT_PROBE_CTRL
+
+    h3 = net.host("h3")
+    h3.send(h3.new_packet(net.address_of("h1"), dst_port=PORT_PROBE_CTRL, message="junk"))
+    h3.send(h3.new_packet(net.address_of("h1"), dst_port=PORT_PROBE_CTRL,
+                          message=("probe_rate", -5.0)))
+    sim.run(until=1.0)
+    assert listener.rate_updates == 0
+    assert sender.interval == 0.1

@@ -1,0 +1,139 @@
+"""Probe sender, responder, and collector working over a real network."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.telemetry.collector import IntCollector
+from repro.telemetry.probe import DEFAULT_PROBE_INTERVAL, ProbeResponder, ProbeSender
+from repro.telemetry.records import host_node, switch_node
+from repro.units import kbps, mbps, ms
+
+
+class TestProbeSender:
+    def test_sends_at_interval(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        ProbeResponder(net.host("h3"), collector=collector)
+        sender = ProbeSender(net.host("h1"), [net.address_of("h3")], interval=0.1)
+        sender.start()
+        sim.run(until=1.0)
+        assert sender.probes_sent == 10
+        assert collector.reports_ingested == 10
+
+    def test_default_interval_is_100ms(self):
+        assert DEFAULT_PROBE_INTERVAL == 0.1
+
+    def test_overhead_matches_paper(self, sim, line3):
+        """Paper Section III-A: 10 pkt/s x 1.5 KB = 120 Kb/s per sender."""
+        sender = ProbeSender(line3.host("h1"), [line3.address_of("h3")])
+        assert sender.overhead_bps == pytest.approx(kbps(120))
+
+    def test_excludes_self_target(self, sim, line3):
+        sender = ProbeSender(
+            line3.host("h1"),
+            [line3.address_of("h1"), line3.address_of("h3")],
+        )
+        assert sender.targets == [line3.address_of("h3")]
+
+    def test_no_targets_rejected(self, sim, line3):
+        with pytest.raises(TelemetryError):
+            ProbeSender(line3.host("h1"), [])
+
+    def test_bad_interval_rejected(self, sim, line3):
+        with pytest.raises(TelemetryError):
+            ProbeSender(line3.host("h1"), [1], interval=0.0)
+
+    def test_undersized_probe_rejected(self, sim, line3):
+        with pytest.raises(TelemetryError):
+            ProbeSender(line3.host("h1"), [1], probe_size=10)
+
+    def test_multiple_targets_per_tick(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        ProbeResponder(net.host("h3"), collector=collector)
+        ProbeResponder(net.host("h2"), collector_addr=net.address_of("h3"))
+        sender = ProbeSender(
+            net.host("h1"),
+            [net.address_of("h2"), net.address_of("h3")],
+            interval=0.1,
+            probe_size=256,
+        )
+        sender.start()
+        sim.run(until=1.0)
+        assert sender.probes_sent == 20
+
+
+class TestResponderAndCollector:
+    def test_local_collector_path(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        responder = ProbeResponder(net.host("h3"), collector=collector)
+        sender = ProbeSender(net.host("h1"), [net.address_of("h3")])
+        sender.start()
+        sim.run(until=0.5)
+        assert responder.probes_terminated > 0
+        assert responder.reports_forwarded == 0
+        report = collector.last_report
+        assert report.probe_src == net.address_of("h1")
+        assert report.probe_dst == net.address_of("h3")
+        assert [r.switch_id for r in report.records] == [1, 2]
+
+    def test_remote_responder_forwards(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        responder = ProbeResponder(net.host("h2"), collector_addr=net.address_of("h3"))
+        sender = ProbeSender(net.host("h1"), [net.address_of("h2")])
+        sender.start()
+        sim.run(until=0.5)
+        assert responder.reports_forwarded > 0
+        report = collector.last_report
+        assert report.probe_dst == net.address_of("h2")
+        assert [r.switch_id for r in report.records] == [1, 2]
+
+    def test_responder_requires_destination(self, sim, line3):
+        with pytest.raises(TelemetryError):
+            ProbeResponder(line3.host("h2"))
+
+    def test_final_link_latency_present(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        ProbeResponder(net.host("h3"), collector=collector)
+        ProbeSender(net.host("h1"), [net.address_of("h3")]).start()
+        sim.run(until=0.5)
+        final = collector.last_report.final_link_latency
+        assert final == pytest.approx(ms(10) + 1500 * 8 / mbps(20), abs=2e-3)
+
+    def test_malformed_wrapped_report_counted(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        h1 = net.host("h1")
+        from repro.telemetry.probe import PORT_PROBE_REPORT
+
+        pkt = h1.new_packet(
+            net.address_of("h3"), dst_port=PORT_PROBE_REPORT, message=("garbage",)
+        )
+        h1.send(pkt)
+        sim.run(until=0.5)
+        assert collector.reports_malformed == 1
+        assert collector.reports_ingested == 0
+
+    def test_malformed_probe_payload_counted(self, sim, line3):
+        collector = IntCollector(line3.host("h3"))
+        out = collector.ingest_probe(
+            probe_src=1, probe_dst=2, seq=0, sent_at=0.0, received_at=0.0,
+            payload=b"NOTAPROBE", final_link_latency=None,
+        )
+        assert out is None
+        assert collector.reports_malformed == 1
+
+    def test_subscribers_receive_reports(self, sim, line3):
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        ProbeResponder(net.host("h3"), collector=collector)
+        got = []
+        collector.subscribe(got.append)
+        ProbeSender(net.host("h1"), [net.address_of("h3")]).start()
+        sim.run(until=0.35)
+        assert len(got) == collector.reports_ingested > 0

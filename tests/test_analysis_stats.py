@@ -1,0 +1,71 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import bootstrap_ci, ecdf, mean, percentile, summarize
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+def test_mean_empty_rejected():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_percentile():
+    values = list(range(101))
+    assert percentile(values, 50) == pytest.approx(50.0)
+    assert percentile(values, 95) == pytest.approx(95.0)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_ecdf_basic():
+    x, f = ecdf([3.0, 1.0, 2.0])
+    assert list(x) == [1.0, 2.0, 3.0]
+    assert list(f) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+
+def test_ecdf_empty_rejected():
+    with pytest.raises(ValueError):
+        ecdf([])
+
+
+def test_bootstrap_ci_contains_mean_for_tight_data():
+    values = [5.0] * 50
+    lo, hi = bootstrap_ci(values)
+    assert lo == hi == pytest.approx(5.0)
+
+
+def test_bootstrap_ci_orders_bounds():
+    rng = np.random.default_rng(0)
+    values = rng.normal(10, 2, size=100)
+    lo, hi = bootstrap_ci(values, rng=np.random.default_rng(1))
+    assert lo < float(np.mean(values)) < hi
+
+
+def test_bootstrap_deterministic_with_rng():
+    values = [1.0, 2.0, 3.0, 4.0]
+    a = bootstrap_ci(values, rng=np.random.default_rng(7))
+    b = bootstrap_ci(values, rng=np.random.default_rng(7))
+    assert a == b
+
+
+def test_summarize():
+    s = summarize([1.0, 2.0, 3.0, 4.0])
+    assert s.n == 4
+    assert s.mean == pytest.approx(2.5)
+    assert s.minimum == 1.0 and s.maximum == 4.0
+    assert s.p50 == pytest.approx(2.5)
+
+
+def test_summarize_single_value_has_zero_std():
+    assert summarize([3.0]).std == 0.0

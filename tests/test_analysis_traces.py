@@ -1,0 +1,124 @@
+"""Trace analysis: flow stats, throughput series, residence, drops."""
+
+import pytest
+
+from repro.analysis.traces import (
+    drop_hotspots,
+    flow_stats,
+    hop_residence_times,
+    queue_depth_summary,
+    throughput_timeseries,
+)
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.simnet.trace import HopEvent, PacketTracer
+from repro.units import mbps
+
+
+def _traced_cbr(sim, net, rate=mbps(4), duration=3.0):
+    nodes = list(net.hosts.values()) + list(net.switches.values())
+    tracer = PacketTracer(nodes)
+    UdpSink(net.host("h2"))
+    flow = UdpCbrFlow(net.host("h1"), net.address_of("h2"), rate, burstiness="cbr")
+    flow.run_for(duration)
+    sim.run(until=duration + 1.0)
+    return tracer, flow
+
+
+class TestFlowStats:
+    def test_throughput_matches_offered(self, sim, line3):
+        tracer, flow = _traced_cbr(sim, line3)
+        stats = flow_stats(tracer.events, "h2")[flow.flow_id]
+        assert stats.throughput_bps == pytest.approx(mbps(4), rel=0.1)
+        assert stats.packets == flow.packets_emitted
+
+    def test_unseen_node_empty(self, sim, line3):
+        tracer, flow = _traced_cbr(sim, line3)
+        assert flow_stats(tracer.events, "h3") == {}
+
+
+class TestThroughputSeries:
+    def test_bins_cover_duration(self, sim, line3):
+        tracer, flow = _traced_cbr(sim, line3, duration=3.0)
+        series = throughput_timeseries(tracer.events, "h2", bin_width=1.0)
+        assert len(series) == 3
+        for _t, rate in series:
+            assert rate == pytest.approx(mbps(4), rel=0.15)
+
+    def test_flow_filter(self, sim, line3):
+        net = line3
+        nodes = list(net.hosts.values()) + list(net.switches.values())
+        tracer = PacketTracer(nodes)
+        UdpSink(net.host("h2"))
+        f1 = UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(2), burstiness="cbr")
+        f2 = UdpCbrFlow(net.host("h3"), net.address_of("h2"), mbps(6), burstiness="cbr")
+        f1.run_for(2.0)
+        f2.run_for(2.0)
+        sim.run(until=3.0)
+        only_f1 = throughput_timeseries(tracer.events, "h2", flow_id=f1.flow_id)
+        assert only_f1[0][1] == pytest.approx(mbps(2), rel=0.2)
+
+    def test_empty_events(self):
+        assert throughput_timeseries([], "h2") == []
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError):
+            throughput_timeseries([], "h2", bin_width=0.0)
+
+
+class TestResidenceAndDrops:
+    def test_residence_times_positive_under_load(self, sim, line3):
+        net = line3
+        nodes = list(net.hosts.values()) + list(net.switches.values())
+        tracer = PacketTracer(nodes)
+        UdpSink(net.host("h2"))
+        # Bursty (Poisson) near-saturation load: queueing is guaranteed.
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(19),
+            rng=RandomStreams(3).get("f"),
+        )
+        flow.run_for(3.0)
+        sim.run(until=4.0)
+        residence = hop_residence_times(tracer.events)
+        assert "s01" in residence
+        # Several packets waited at least one full serialization (0.6 ms).
+        assert max(residence["s01"]) > 0.0006
+
+    def test_drop_hotspots(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        net.add_host("a")
+        net.add_host("b")
+        net.connect("a", "b", rate_bps=mbps(1), delay=0.0, queue_capacity=2)
+        net.finalize()
+        tracer = PacketTracer([net.host("a"), net.host("b")])
+        a = net.host("a")
+        for i in range(10):
+            a.send(a.new_packet(net.address_of("b"), dst_port=9, size_bytes=1500))
+        sim.run()
+        hotspots = drop_hotspots(tracer.events)
+        assert hotspots[0][0] == "a"
+        assert hotspots[0][1] == 7
+
+    def test_no_drops_empty(self, sim, line3):
+        tracer, _ = _traced_cbr(sim, line3, rate=mbps(1))
+        assert drop_hotspots(tracer.events) == []
+
+
+class TestQueueDepthSummary:
+    def test_summary_under_load(self, sim, line3):
+        net = line3
+        tracer = PacketTracer([net.switch("s01")])
+        UdpSink(net.host("h2"))
+        flow = UdpCbrFlow(
+            net.host("h1"), net.address_of("h2"), mbps(19),
+            rng=RandomStreams(3).get("f"),
+        )
+        flow.run_for(3.0)
+        sim.run(until=4.0)
+        summary = queue_depth_summary(tracer.events, "s01")
+        assert summary is not None
+        assert summary["max"] >= summary["p95"] >= summary["p50"] >= 0
+        assert summary["max"] > 1
+
+    def test_unseen_node_none(self, sim, line3):
+        assert queue_depth_summary([], "s01") is None

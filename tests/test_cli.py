@@ -1,0 +1,59 @@
+"""CLI: argument parsing and command dispatch (tiny workloads)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.slow
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compare", "--figure", "fig99"])
+
+
+def test_calibrate_command(capsys, tmp_path):
+    out = tmp_path / "calib.txt"
+    rc = main([
+        "calibrate", "--levels", "0.0", "0.9",
+        "--duration", "8", "--out", str(out),
+    ])
+    assert rc == 0
+    text = out.read_text()
+    assert "utilization" in text and "90%" in text
+    assert "Fig. 3" in capsys.readouterr().out
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "--scenarios", "traffic2", "--intervals", "0.1", "10.0",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "traffic2" in out and "probing interval" in out
+
+
+def test_sensitivity_command(capsys, tmp_path):
+    out = tmp_path / "sens.txt"
+    rc = main([
+        "sensitivity", "--parameter", "k", "--values", "0.02",
+        "--scale", "smoke", "--size-class", "VS", "--out", str(out),
+    ])
+    assert rc == 0
+    text = out.read_text()
+    assert "sensitivity" in text and "best value" in text
+
+
+def test_compare_command(capsys, tmp_path):
+    out = tmp_path / "cmp.txt"
+    rc = main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--out", str(out),
+    ])
+    assert rc == 0
+    assert "gain vs nearest" in out.read_text()

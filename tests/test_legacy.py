@@ -1,0 +1,162 @@
+"""Legacy SNMP-style monitoring and the counter-driven scheduler."""
+
+import pytest
+
+from repro.core.client import SchedulerClient
+from repro.errors import SchedulingError, TelemetryError
+from repro.experiments.fig4_topology import build_fig4_network
+from repro.legacy import SnmpPoller, SnmpScheduler
+from repro.simnet.flows import UdpCbrFlow, UdpSink
+from repro.simnet.random import RandomStreams
+from repro.units import mbps
+
+
+class TestSnmpPoller:
+    def test_discovers_all_switch_egress_ports(self, sim, line3):
+        poller = SnmpPoller(sim, line3, poll_interval=1.0)
+        # s01: 2 ports; s02: 3 ports.
+        assert len(poller.known_ports()) == 5
+        assert ("s01", "s02") in poller.known_ports()
+
+    def test_idle_port_reads_zero(self, sim, line3):
+        poller = SnmpPoller(sim, line3, poll_interval=1.0)
+        poller.start()
+        sim.run(until=3.0)
+        assert poller.utilization("s01", "s02") == 0.0
+        assert poller.polls_completed == 3
+
+    def test_utilization_matches_offered_load(self, sim, line3):
+        poller = SnmpPoller(sim, line3, poll_interval=1.0)
+        poller.start()
+        UdpSink(line3.host("h2"))
+        UdpCbrFlow(
+            line3.host("h1"), line3.address_of("h2"), mbps(10), burstiness="cbr"
+        ).run_for(5.0)
+        sim.run(until=5.0)
+        assert poller.utilization("s01", "s02") == pytest.approx(0.5, abs=0.08)
+
+    def test_counters_reflect_previous_window_only(self, sim, line3):
+        """A burst that ends before the poll still shows up in that window's
+        average, diluted — the staleness INT avoids."""
+        poller = SnmpPoller(sim, line3, poll_interval=10.0)
+        poller.start()
+        UdpSink(line3.host("h2"))
+        UdpCbrFlow(
+            line3.host("h1"), line3.address_of("h2"), mbps(20), burstiness="cbr"
+        ).run_for(2.0)  # 2 s of 100 % inside a 10 s window
+        sim.run(until=10.5)
+        sample = poller.sample("s01", "s02")
+        assert sample is not None
+        assert sample.utilization == pytest.approx(0.2, abs=0.05)  # diluted 5x
+
+    def test_unpolled_port_returns_zero(self, sim, line3):
+        poller = SnmpPoller(sim, line3, poll_interval=1.0)
+        assert poller.utilization("s01", "s02") == 0.0
+        assert poller.sample("s01", "s02") is None
+
+    def test_validation(self, sim, line3):
+        with pytest.raises(TelemetryError):
+            SnmpPoller(sim, line3, poll_interval=0.0)
+
+
+class TestSnmpScheduler:
+    @pytest.fixture
+    def system(self, sim, streams):
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        worker_addrs = [net.address_of(n) for n in topo.worker_names]
+        poller = SnmpPoller(sim, net, poll_interval=1.0)
+        poller.start()
+        sched = SnmpScheduler(
+            net.host(topo.scheduler_name), worker_addrs, net, poller
+        )
+        for n in topo.node_names:
+            UdpSink(net.host(n))
+        return topo, sched, poller
+
+    def test_idle_ranking_matches_hop_count(self, sim, system):
+        topo, sched, _ = system
+        net = topo.network
+        sim.run(until=2.0)
+        ranking = sched.rank(net.address_of("node7"), "delay")
+        assert ranking[0][0] == net.address_of("node8")  # in-pod nearest
+
+    def test_idle_bandwidth_is_capacity(self, sim, system):
+        topo, sched, _ = system
+        net = topo.network
+        sim.run(until=2.0)
+        ranking = sched.rank(net.address_of("node7"), "bandwidth")
+        assert ranking[0][1] == pytest.approx(topo.fabric_rate_bps)
+
+    def test_sustained_congestion_detected(self, sim, system):
+        """SNMP does see congestion — when it persists across poll windows."""
+        topo, sched, _ = system
+        net = topo.network
+        for i, src in enumerate(("node3", "node5")):
+            UdpCbrFlow(
+                net.host(src), net.address_of("node8"), mbps(12),
+                rng=RandomStreams(60 + i).get("f"),
+            ).run_for(10.0)
+        sim.run(until=5.0)
+        ranking = sched.rank(net.address_of("node7"), "bandwidth")
+        by_addr = dict(ranking)
+        assert by_addr[net.address_of("node8")] < topo.fabric_rate_bps * 0.7
+
+    def test_transient_burst_missed_with_slow_polling(self, sim, streams):
+        """The paper's core claim: a burst shorter than the poll window is
+        invisible (diluted) to SNMP-rate monitoring."""
+        topo = build_fig4_network(sim, streams)
+        net = topo.network
+        worker_addrs = [net.address_of(n) for n in topo.worker_names]
+        poller = SnmpPoller(sim, net, poll_interval=30.0)
+        poller.start()
+        sched = SnmpScheduler(
+            net.host(topo.scheduler_name), worker_addrs, net, poller,
+        )
+        for n in topo.node_names:
+            UdpSink(net.host(n))
+        for i, src in enumerate(("node3", "node5")):
+            UdpCbrFlow(
+                net.host(src), net.address_of("node8"), mbps(12),
+                rng=RandomStreams(70 + i).get("f"),
+            ).run_for(3.0, delay=1.0)  # 3 s burst inside the 30 s window
+        sim.run(until=6.0)  # burst over, no poll has completed yet
+        ranking = sched.rank(net.address_of("node7"), "bandwidth")
+        # Blissfully unaware: node8's path still estimates full capacity.
+        assert dict(ranking)[net.address_of("node8")] == pytest.approx(
+            topo.fabric_rate_bps
+        )
+
+    def test_unknown_metric_rejected(self, sim, system):
+        topo, sched, _ = system
+        with pytest.raises(SchedulingError):
+            sched.rank(topo.network.address_of("node1"), "vibes")
+
+    def test_protocol_roundtrip(self, sim, system):
+        topo, sched, _ = system
+        client = SchedulerClient(topo.network.host("node1"), topo.scheduler_addr)
+        out = []
+        client.query("delay", out.append)
+        sim.run(until=sim.now + 5.0)
+        assert out and len(out[0]) == 6
+
+
+class TestHarnessIntegration:
+    @pytest.mark.slow
+    def test_snmp_policy_runs_end_to_end(self):
+        from repro.edge.task import SizeClass
+        from repro.experiments.harness import (
+            POLICY_SNMP,
+            ExperimentConfig,
+            ExperimentScale,
+            run_experiment,
+        )
+
+        tiny = ExperimentScale(
+            size_scale=0.05, total_tasks=6, mean_interarrival=0.4, time_scale=0.08
+        )
+        res = run_experiment(ExperimentConfig(
+            policy=POLICY_SNMP, size_class=SizeClass.VS, scale=tiny, seed=11,
+        ))
+        assert res.tasks_completed == 6
+        assert res.tasks_failed == 0
