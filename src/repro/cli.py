@@ -5,10 +5,13 @@ Commands map one-to-one onto the experiment harnesses:
 * ``calibrate`` — the Fig. 3 utilization sweep;
 * ``compare``   — a Figs. 5/6/7-style policy comparison;
 * ``sweep``     — the Fig. 9 probing-interval sweep;
-* ``reproduce`` — everything, in paper order (Fig. 3, 5, 6, 7, 8, 9).
+* ``reproduce`` — everything, in paper order (Fig. 3, 5, 6, 7, 8, 9);
+* ``obs-report`` — summarize an observability export (``--obs-out`` file).
 
 All output is plain text tables (`repro.experiments.report`); ``--out``
-additionally writes the report to a file.
+additionally writes the report to a file.  ``--obs-out PATH`` (``compare``
+and ``reproduce``) captures the observability layer — metrics, structured
+events, and the scheduler decision audit — as JSONL.
 """
 
 from __future__ import annotations
@@ -71,10 +74,60 @@ class _Reporter:
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=str, default=None)
+    parser.add_argument(
+        "--obs-out", type=str, default=None, metavar="PATH",
+        help="capture the observability layer (metrics + events + decision "
+             "audit) to a JSONL file; see the obs-report command",
+    )
+
+
+def _obs_factory(obs_out: Optional[str], **context):
+    """Per-run Observability builder for commands that honor --obs-out."""
+    if not obs_out:
+        return None
+    from repro.obs import Observability
+
+    def factory(config):
+        run = dict(context)
+        run.update(
+            policy=config.policy,
+            size_class=config.size_class.label,
+            seed=config.seed,
+        )
+        return Observability(run=run)
+
+    return factory
+
+
+def _write_obs(reporter: "_Reporter", obs_out: Optional[str], results) -> None:
+    """Append every run's observability records to one JSONL file."""
+    if not obs_out:
+        return
+    from repro.obs.export import write_jsonl
+
+    total = 0
+    first = True
+    for result in results:
+        if result.obs is None:
+            continue
+        total += write_jsonl(
+            result.obs.snapshot_records(), obs_out, append=not first
+        )
+        first = False
+    reporter.emit(f"observability: {total} records written to {obs_out}")
+
+
+def _warn_obs_unsupported(reporter: _Reporter, args: argparse.Namespace) -> None:
+    if getattr(args, "obs_out", None):
+        reporter.emit(
+            "note: --obs-out is currently captured by the 'compare' and "
+            "'reproduce' commands only; ignoring it here"
+        )
 
 
 def cmd_calibrate(args: argparse.Namespace) -> int:
     reporter = _Reporter(args.out)
+    _warn_obs_unsupported(reporter, args)
     points = run_calibration_sweep(
         tuple(args.levels), duration=args.duration, seed=args.seed
     )
@@ -93,15 +146,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
         config,
         size_classes=classes,
         policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
+        obs_factory=_obs_factory(args.obs_out, figure=args.figure),
     )
     reporter.emit(f"{args.figure} — policy comparison ({measure} time)")
     reporter.emit(render_comparison(comparison, measure=measure))
+    _write_obs(reporter, args.obs_out, comparison.results.values())
     reporter.close()
     return 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     reporter = _Reporter(args.out)
+    _warn_obs_unsupported(reporter, args)
     sweeps = [
         run_probing_sweep(name, intervals=tuple(args.intervals), seed=args.seed)
         for name in args.scenarios
@@ -116,6 +172,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
     from repro.experiments.sensitivity import sweep_k, sweep_probing_parameter
 
     reporter = _Reporter(args.out)
+    _warn_obs_unsupported(reporter, args)
     base = replace(
         ExperimentConfig(workload="serverless", metric="delay",
                          size_class=_CLASSES[args.size_class]),
@@ -158,9 +215,14 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             replace(base, scale=scale, seed=args.seed),
             size_classes=classes,
             policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
+            obs_factory=_obs_factory(args.obs_out, figure=name),
         )
         comparisons[name] = comparison
         reporter.emit(render_comparison(comparison, measure=measure))
+    _write_obs(
+        reporter, args.obs_out,
+        [r for c in comparisons.values() for r in c.results.values()],
+    )
 
     reporter.emit("\n## fig8 (ECDF of per-task completion gain vs nearest)")
     sc = SizeClass.S if SizeClass.S in classes else classes[0]
@@ -184,8 +246,33 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import read_jsonl, render_obs_report
+
+    try:
+        records = read_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not JSONL: {exc}", file=sys.stderr)
+        return 2
+    reporter = _Reporter(args.out)
+    reporter.emit(f"observability report — {args.path}")
+    reporter.emit(render_obs_report(records))
+    reporter.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    import repro
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("calibrate", help="Fig. 3 utilization sweep")
@@ -222,6 +309,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=sorted(SCALES), default="quick")
     _add_common(p)
     p.set_defaults(fn=cmd_reproduce)
+
+    p = sub.add_parser("obs-report", help="summarize an --obs-out JSONL export")
+    p.add_argument("path", help="JSONL file written via --obs-out")
+    p.add_argument("--out", type=str, default=None)
+    p.set_defaults(fn=cmd_obs_report)
 
     return parser
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.errors import SchedulingError
 from repro.simnet.addressing import PORT_SCHEDULER, PROTO_UDP
 from repro.simnet.engine import EventHandle
 from repro.simnet.host import Host

@@ -14,13 +14,19 @@ starve them forever at startup.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import SchedulingError
 from repro.core.estimators import BandwidthEstimator, DelayEstimator
 from repro.telemetry.records import TelemetryNodeId
 
-__all__ = ["rank_by_delay", "rank_by_bandwidth", "RankedServer"]
+__all__ = [
+    "rank_by_delay",
+    "rank_by_bandwidth",
+    "explain_delay",
+    "explain_bandwidth",
+    "RankedServer",
+]
 
 RankedServer = Tuple[TelemetryNodeId, float]
 
@@ -69,3 +75,88 @@ def rank_by_bandwidth(
         ranked.append((node, bw))
     ranked.sort(key=lambda item: (-item[1], item[0]))
     return ranked
+
+
+# -- decision explanations (audit trail) ------------------------------------
+#
+# These mirror the estimators' arithmetic term by term but return the full
+# breakdown instead of one scalar.  They are deliberately separate from the
+# rank_* hot paths: ranking runs on every scheduler query, explanation only
+# when a decision audit is attached.
+
+
+def _node_label(node: TelemetryNodeId) -> str:
+    return f"{node[0]}:{node[1]}"
+
+
+def explain_delay(
+    estimator: DelayEstimator, origin: TelemetryNodeId, node: TelemetryNodeId
+) -> Dict[str, Any]:
+    """Algorithm 1's cost for one candidate, decomposed per hop.
+
+    The returned ``value`` equals :meth:`DelayEstimator.path_delay` over the
+    same path; ``hops`` lists each directed hop's measured link delay, the
+    Q(h) reading, and the ``k * Q(h)`` term actually charged (zero below the
+    noise floor or at non-switch hops).
+    """
+    store = estimator.store
+    try:
+        path = store.topology.path(origin, node)
+    except SchedulingError:
+        return {"value": math.inf, "path": [], "hops": []}
+    hops: List[Dict[str, Any]] = []
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        link_delay = store.link_delay(u, v, default=estimator.default_link_delay)
+        qdepth = store.max_qdepth(u, v) if u[0] == "sw" else 0
+        queue_term = (
+            estimator.k * qdepth
+            if u[0] == "sw" and qdepth >= estimator.qdepth_floor
+            else 0.0
+        )
+        total += link_delay + queue_term
+        hops.append(
+            {
+                "u": _node_label(u),
+                "v": _node_label(v),
+                "link_delay": link_delay,
+                "qdepth": qdepth,
+                "queue_term": queue_term,
+            }
+        )
+    return {"value": total, "path": [_node_label(n) for n in path], "hops": hops}
+
+
+def explain_bandwidth(
+    estimator: BandwidthEstimator, origin: TelemetryNodeId, node: TelemetryNodeId
+) -> Dict[str, Any]:
+    """Section III-D's bottleneck bandwidth for one candidate, per hop:
+    each link's Q(h) reading, the utilization the calibration curve maps it
+    to, and the resulting available bandwidth; ``value`` is the minimum."""
+    store = estimator.store
+    try:
+        path = store.topology.path(origin, node)
+    except SchedulingError:
+        return {"value": 0.0, "path": [], "hops": []}
+    hops: List[Dict[str, Any]] = []
+    value: Optional[float] = None
+    for u, v in zip(path, path[1:]):
+        qdepth = store.max_qdepth(u, v)
+        utilization = estimator.curve.utilization(qdepth)
+        available = estimator.link_capacity_bps * (1.0 - utilization)
+        if value is None or available < value:
+            value = available
+        hops.append(
+            {
+                "u": _node_label(u),
+                "v": _node_label(v),
+                "qdepth": qdepth,
+                "utilization": utilization,
+                "available_bps": available,
+            }
+        )
+    return {
+        "value": value if value is not None else 0.0,
+        "path": [_node_label(n) for n in path],
+        "hops": hops,
+    }

@@ -95,6 +95,9 @@ class SchedulerService:
     ) -> None:
         ranking = self.rank(requester_addr, metric)
         self.queries_served += 1
+        obs = self.host.sim.obs
+        if obs:
+            self._audit_decision(obs, requester_addr, metric, ranking)
         response = self.host.new_packet(
             requester_addr,
             protocol=PROTO_UDP,
@@ -104,6 +107,32 @@ class SchedulerService:
             message=("sched_response", request_id, tuple(ranking)),
         )
         self.host.send(response)
+
+    # -- observability -----------------------------------------------------
+
+    def _audit_decision(self, obs, requester_addr: int, metric: str, ranking) -> None:
+        """Record one ranking query in the decision audit trail.  The base
+        record carries every candidate's value and, when a ground-truth
+        oracle is attached, the true path delay at decision time; the
+        network-aware subclass adds the per-hop estimate breakdown."""
+        truth = obs.ground_truth
+        candidates = []
+        for addr, value in ranking:
+            cand: Dict[str, object] = {
+                "server_addr": addr,
+                "value": list(value) if isinstance(value, tuple) else value,
+            }
+            if truth is not None:
+                cand["truth_delay"] = truth.true_delay_between(requester_addr, addr)
+            candidates.append(cand)
+        # Raw rankings are unsorted — the device chooses, not the scheduler.
+        chosen = ranking[0][0] if ranking and metric != METRIC_RAW else None
+        obs.audit.record(
+            requester_addr=requester_addr,
+            metric=metric,
+            candidates=candidates,
+            chosen_addr=chosen,
+        )
 
     # -- policy (override) ------------------------------------------------------
 
@@ -160,6 +189,42 @@ class NetworkAwareScheduler(SchedulerService):
         else:
             raise SchedulingError(f"unknown ranking metric {metric!r}")
         return [(node[1], value) for node, value in ranked]
+
+    def _audit_decision(self, obs, requester_addr: int, metric: str, ranking) -> None:
+        """Algorithm 1's full working: per candidate, the per-hop Q(h) and
+        link-delay (or utilization) terms behind the estimate, plus ground
+        truth along the *estimated* path when an oracle is attached."""
+        from repro.core.ranking import explain_bandwidth, explain_delay
+
+        origin = host_node(requester_addr)
+        truth = obs.ground_truth
+        candidates = []
+        for addr, value in ranking:
+            cand: Dict[str, object] = {
+                "server_addr": addr,
+                "value": list(value) if isinstance(value, tuple) else value,
+            }
+            node = host_node(addr)
+            if metric == METRIC_DELAY:
+                detail = explain_delay(self.delay_estimator, origin, node)
+                cand["estimated_delay"] = detail["value"]
+            elif metric == METRIC_BANDWIDTH:
+                detail = explain_bandwidth(self.bandwidth_estimator, origin, node)
+            else:  # raw: both estimates ride in value; explain the delay side
+                detail = explain_delay(self.delay_estimator, origin, node)
+                cand["estimated_delay"] = detail["value"]
+            cand["path"] = detail["path"]
+            cand["hops"] = detail["hops"]
+            if truth is not None:
+                cand["truth_delay"] = truth.true_delay_between(requester_addr, addr)
+            candidates.append(cand)
+        chosen = ranking[0][0] if ranking and metric != METRIC_RAW else None
+        obs.audit.record(
+            requester_addr=requester_addr,
+            metric=metric,
+            candidates=candidates,
+            chosen_addr=chosen,
+        )
 
     def _rank_raw(self, origin, candidates) -> List[Tuple[int, Tuple[float, float]]]:
         """Both estimates per candidate, in address order (unsorted — the

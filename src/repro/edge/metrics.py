@@ -11,7 +11,7 @@ The experiments report, per Table I size class:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np

@@ -21,7 +21,7 @@ Policies for raw rankings (values are ``(delay_seconds, bandwidth_bps)``):
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.edge.task import Job
 from repro.errors import SchedulingError

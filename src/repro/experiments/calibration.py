@@ -15,7 +15,7 @@ queue<->utilization map the bandwidth-based ranking inverts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.analysis.stats import mean
 from repro.core.estimators import QdepthUtilizationCurve

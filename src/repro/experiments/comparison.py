@@ -15,7 +15,7 @@ identical across policies and the paper's "performance gain" bars —
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.edge.task import SizeClass
 from repro.errors import ExperimentError
@@ -104,11 +104,19 @@ def run_comparison(
     *,
     size_classes: Sequence[SizeClass] = ALL_CLASSES,
     policies: Sequence[str] = DEFAULT_POLICIES,
+    obs_factory: Optional[Callable[[ExperimentConfig], object]] = None,
 ) -> ComparisonResult:
-    """Run every (size class × policy) cell of one figure."""
+    """Run every (size class × policy) cell of one figure.
+
+    ``obs_factory(config)`` — when given — builds one observability hub per
+    cell (a hub binds to one simulator clock, so sharing across runs would
+    scramble timestamps); each hub rides on its cell's
+    :attr:`ExperimentResult.obs`.
+    """
     out = ComparisonResult(base_config=base_config)
     for size_class in size_classes:
         for policy in policies:
             config = replace(base_config, size_class=size_class, policy=policy)
-            out.results[(size_class, policy)] = run_experiment(config)
+            obs = obs_factory(config) if obs_factory is not None else None
+            out.results[(size_class, policy)] = run_experiment(config, obs=obs)
     return out

@@ -14,7 +14,7 @@ tests and benchmarks; ``SMOKE_SCALE`` is for unit-level smoke tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.baselines import NearestScheduler, RandomScheduler
@@ -141,6 +141,9 @@ class ExperimentResult:
     tasks_completed: int
     tasks_failed: int
     records_in_order: List[TaskRecord] = field(default_factory=list)
+    # The run's observability hub (repro.obs.Observability) when one was
+    # attached; None for plain (zero-overhead) runs.
+    obs: Optional[object] = None
 
     def mean_completion_time(self, size_class: Optional[SizeClass] = None) -> float:
         return self.metrics.mean_completion_time(size_class)
@@ -249,12 +252,21 @@ def _setup_probing(
     return senders
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run one complete experiment and return its metrics."""
+def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
+    """Run one complete experiment and return its metrics.
+
+    ``obs`` (a :class:`repro.obs.Observability`) enables the observability
+    layer for this run: sim-time metrics, structured events, a scheduler
+    decision audit with ground truth attached, and task-lifecycle mirroring.
+    """
     streams = RandomStreams(config.seed)
     sim = Simulator()
+    if obs:
+        obs.bind_sim(sim)
     topo = build_fig4_network(sim, streams)
     net = topo.network
+    if obs:
+        obs.attach_network(net)
 
     worker_names = topo.worker_names
     server_addrs = [net.address_of(n) for n in worker_names]
@@ -334,6 +346,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             f"unfinished tasks (policy={config.policy}, class={config.size_class.label})"
         )
 
+    if obs:
+        _mirror_task_lifecycle(obs, metrics.records)
+        obs.metrics.gauge("run_sim_time_seconds").set(sim.now)
+        obs.metrics.gauge("run_events_executed").set(sim.events_executed)
+        obs.metrics.gauge("run_tasks_completed").set(len(metrics.completed()))
+        obs.metrics.gauge("run_tasks_failed").set(len(metrics.failed()))
+
     return ExperimentResult(
         config=config,
         metrics=metrics,
@@ -344,4 +363,48 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         tasks_completed=len(metrics.completed()),
         tasks_failed=len(metrics.failed()),
         records_in_order=metrics.records,
+        obs=obs if obs else None,
     )
+
+
+def _mirror_task_lifecycle(obs, records: List[TaskRecord]) -> None:
+    """Replay each task's recorded timeline into the structured event log.
+
+    Timestamps come from the :class:`TaskRecord` fields measured during the
+    run (the ``time=`` override), so the mirrored events interleave correctly
+    with live-emitted ones on export."""
+    for r in records:
+        common = dict(device=r.device, server_addr=r.server_addr)
+        obs.events.task_transition(
+            task_id=r.task_id, state="submitted", time=r.submitted_at, **common
+        )
+        if r.ranking_received_at is not None:
+            obs.events.task_transition(
+                task_id=r.task_id, state="ranking_received",
+                time=r.ranking_received_at, **common,
+            )
+        if r.transfer_started is not None:
+            obs.events.task_transition(
+                task_id=r.task_id, state="transfer_started",
+                time=r.transfer_started, **common,
+            )
+        if r.transfer_completed is not None:
+            obs.events.task_transition(
+                task_id=r.task_id, state="transfer_completed",
+                time=r.transfer_completed, **common,
+            )
+        if r.failed:
+            obs.events.task_transition(
+                task_id=r.task_id, state="failed", time=None, **common
+            )
+        elif r.result_received_at is not None:
+            obs.events.task_transition(
+                task_id=r.task_id, state="result_received",
+                time=r.result_received_at, **common,
+            )
+        if r.complete:
+            obs.metrics.histogram(
+                "task_completion_seconds",
+                buckets=(0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0),
+                size_class=r.size_class.label,
+            ).observe(r.completion_time)

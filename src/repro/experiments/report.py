@@ -3,7 +3,7 @@ reproduction are printed tables/series matching what the paper plots."""
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence
 
 from repro.experiments.calibration import CalibrationPoint
 from repro.experiments.comparison import ComparisonResult

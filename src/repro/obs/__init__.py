@@ -1,0 +1,202 @@
+"""repro.obs — unified observability: metrics, events, and decision audits.
+
+The paper's contribution is making network state *observable* to the
+scheduler; this package makes the reproduction observable to the
+experimenter.  One :class:`Observability` hub per run bundles:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters / gauges /
+  histograms, timestamped in sim time;
+* :class:`~repro.obs.events.EventLog` — typed JSONL-ready event records;
+* :class:`~repro.obs.audit.DecisionAudit` — per-query scheduler decision
+  explanations, optionally paired with ground truth.
+
+Instrumented call sites read ``sim.obs`` (``None`` when disabled) and guard
+with one truthy check, so a run without observability pays nothing beyond
+that check.  Attach with::
+
+    obs = Observability(run={"policy": "aware"})
+    obs.bind_sim(sim)          # wires sim.obs and the sim-time clock
+    obs.attach_network(net)    # queue-threshold + per-link byte accounting
+
+and export with ``repro.obs.export.write_jsonl(obs.snapshot_records(), path)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.audit import DecisionAudit, NetworkGroundTruth, node_label
+from repro.obs.events import EVENT_KINDS, Event, EventLog
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullSink,
+    NULL_SINK,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "EventLog",
+    "Event",
+    "EVENT_KINDS",
+    "DecisionAudit",
+    "NetworkGroundTruth",
+    "node_label",
+    "NullSink",
+    "NULL_SINK",
+    "NULL_OBS",
+]
+
+# The disabled-observability singleton: falsy, absorbs any call chain.
+NULL_OBS = NULL_SINK
+
+# A queue is "congested" when its depth reaches this fraction of capacity;
+# crossings are emitted as queue_threshold events.
+DEFAULT_QUEUE_THRESHOLD_FRACTION = 0.75
+
+
+class Observability:
+    """One run's observability hub: metrics + events + decision audit."""
+
+    def __init__(
+        self,
+        *,
+        run: Optional[Dict[str, Any]] = None,
+        max_events: Optional[int] = None,
+        max_decisions: Optional[int] = None,
+        probe_sample: int = 10,
+        queue_threshold_fraction: float = DEFAULT_QUEUE_THRESHOLD_FRACTION,
+    ) -> None:
+        if probe_sample < 1:
+            raise ValueError("probe_sample must be >= 1")
+        if not 0.0 < queue_threshold_fraction <= 1.0:
+            raise ValueError("queue_threshold_fraction must be in (0, 1]")
+        self.run: Dict[str, Any] = dict(run or {})
+        self.metrics = MetricsRegistry()
+        self.events = EventLog(**({} if max_events is None else {"max_events": max_events}))
+        self.audit = DecisionAudit(
+            **({} if max_decisions is None else {"max_decisions": max_decisions})
+        )
+        # Per-probe events at mesh-probing rates dwarf everything else; only
+        # every Nth probe_sent/probe_received lands in the event log, while
+        # exact totals always live in the metrics registry.
+        self.probe_sample = probe_sample
+        self._probe_tick = 0
+        self.queue_threshold_fraction = queue_threshold_fraction
+        self.ground_truth: Optional[NetworkGroundTruth] = None
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- wiring ------------------------------------------------------------
+
+    def bind_sim(self, sim: Any) -> None:
+        """Point every component at ``sim``'s clock and install this hub as
+        ``sim.obs`` (the handle instrumented call sites read)."""
+        clock = lambda: sim.now  # noqa: E731 - tiny closure over the sim
+        self.metrics.bind_clock(clock)
+        self.events.bind_clock(clock)
+        self.audit.bind_clock(clock)
+        sim.obs = self
+
+    def attach_network(self, network: Any) -> None:
+        """Instrument a finalized network: queue-threshold crossing events on
+        every egress queue and per-link carried-byte counters."""
+        self.ground_truth = NetworkGroundTruth(network)
+        nodes = list(network.hosts.values()) + list(network.switches.values())
+        for node in nodes:
+            for port in node.ports:
+                queue = port.queue
+                label = f"{node.name}[{port.port_index}]"
+                threshold = max(
+                    1, int(queue.capacity * self.queue_threshold_fraction)
+                )
+                queue.threshold = threshold
+                queue.on_threshold = (
+                    lambda depth, direction, _label=label, _thr=threshold: (
+                        self._on_queue_threshold(_label, depth, _thr, direction)
+                    )
+                )
+        for name, link in network.links.items():
+            link.obs_counters = {
+                "a": self.metrics.counter("link_bytes_total", link=name, direction="a"),
+                "b": self.metrics.counter("link_bytes_total", link=name, direction="b"),
+            }
+
+    # -- instrumentation entry points (terse, hot-path-friendly) -----------
+
+    def _on_queue_threshold(
+        self, queue: str, depth: int, threshold: int, direction: str
+    ) -> None:
+        self.metrics.counter("queue_threshold_crossings_total", queue=queue).inc()
+        self.events.queue_threshold(
+            queue=queue, depth=depth, threshold=threshold, direction=direction
+        )
+
+    def packet_dropped(
+        self, *, queue: str, flow_id: int, seq: int, size_bytes: int, is_probe: bool
+    ) -> None:
+        self.metrics.counter("packets_dropped_total", queue=queue).inc()
+        self.events.packet_dropped(
+            queue=queue,
+            flow_id=flow_id,
+            seq=seq,
+            size_bytes=size_bytes,
+            is_probe=is_probe,
+        )
+
+    def _probe_sampled(self) -> bool:
+        self._probe_tick += 1
+        return self._probe_tick % self.probe_sample == 0
+
+    def probe_sent(self, *, src: int, dst: int, seq: int) -> None:
+        self.metrics.counter("probes_sent_total", src=src).inc()
+        if self._probe_sampled():
+            self.events.probe_sent(src=src, dst=dst, seq=seq, sampled=self.probe_sample)
+
+    def probe_received(self, *, src: int, dst: int, seq: int, hops: int) -> None:
+        self.metrics.counter("probe_reports_ingested_total").inc()
+        if self._probe_sampled():
+            self.events.probe_received(
+                src=src, dst=dst, seq=seq, hops=hops, sampled=self.probe_sample
+            )
+
+    def probe_lost(self, *, src: int, dst: int, seq: int, lost: int) -> None:
+        self.metrics.counter("probes_lost_total").inc(lost)
+        self.events.probe_lost(src=src, dst=dst, seq=seq, lost=lost)
+
+    def probe_malformed(self, *, reason: str, **fields: Any) -> None:
+        self.metrics.counter("probe_reports_malformed_total").inc()
+        self.events.warning(reason, **fields)
+
+    # -- export ------------------------------------------------------------
+
+    def snapshot_records(self) -> List[Dict[str, Any]]:
+        """Every record this hub holds, JSON-ready, run labels attached."""
+        records = (
+            self.metrics.snapshot() + self.events.snapshot() + self.audit.snapshot()
+        )
+        if self.run:
+            run = dict(self.run)
+            for record in records:
+                record["run"] = run
+        return records
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact run-level digest (the ``run-summary`` exporter)."""
+        return {
+            "run": dict(self.run),
+            "instruments": len(self.metrics),
+            "events": len(self.events),
+            "events_by_kind": self.events.counts_by_kind(),
+            "events_dropped": self.events.dropped_events,
+            "decisions": len(self.audit),
+            "decisions_dropped": self.audit.dropped_decisions,
+            "delay_error": self.audit.error_report(),
+        }

@@ -1,0 +1,137 @@
+"""Exporters for the observability layer: JSONL, CSV, and run summaries.
+
+The wire format is one JSON object per line, discriminated by ``kind``:
+
+* ``{"kind": "metric", ...}`` — one instrument snapshot (counter / gauge /
+  histogram) from the metrics registry;
+* ``{"kind": "event", "event": <kind>, "time": t, ...}`` — one structured
+  event-log record;
+* ``{"kind": "decision-audit", ...}`` — one scheduler ranking query with its
+  per-candidate explanation.
+
+Records exported from a hub with run labels carry them under ``"run"`` so
+multiple runs (e.g. every cell of a policy comparison) can share one file
+and still be separated at analysis time.  :func:`render_obs_report` is the
+``repro obs-report`` backend: it reads such a file back and prints counts
+plus the per-policy estimate-vs-ground-truth delay error.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.obs.audit import delay_error_stats
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "write_metrics_csv",
+    "render_obs_report",
+]
+
+
+def write_jsonl(records: Iterable[Dict[str, Any]], path: str, *, append: bool = False) -> int:
+    """Write one JSON object per line; returns the number of lines written."""
+    n = 0
+    with open(path, "a" if append else "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            n += 1
+    return n
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    out: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+_CSV_FIELDS = ("name", "type", "labels", "value", "count", "sum", "mean", "updated_at")
+
+
+def write_metrics_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
+    """Flatten the ``metric`` records of an export into a CSV table."""
+    n = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            if record.get("kind") != "metric":
+                continue
+            row = dict(record)
+            row["labels"] = ",".join(
+                f"{k}={v}" for k, v in sorted(record.get("labels", {}).items())
+            )
+            writer.writerow(row)
+            n += 1
+    return n
+
+
+# -- obs-report rendering ---------------------------------------------------
+
+
+def _run_key(record: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(record.get("run", {}).items()))
+
+
+def _fmt_ms(value: Any) -> str:
+    return f"{value * 1e3:.2f} ms" if isinstance(value, (int, float)) else "n/a"
+
+
+def render_obs_report(records: List[Dict[str, Any]]) -> str:
+    """Human-readable summary of one observability export."""
+    by_kind: Dict[str, int] = {}
+    for record in records:
+        by_kind[record.get("kind", "?")] = by_kind.get(record.get("kind", "?"), 0) + 1
+    lines = [
+        f"records: {len(records)} "
+        f"(metric {by_kind.get('metric', 0)}, event {by_kind.get('event', 0)}, "
+        f"decision-audit {by_kind.get('decision-audit', 0)})",
+    ]
+
+    event_counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("kind") == "event":
+            name = record.get("event", "?")
+            event_counts[name] = event_counts.get(name, 0) + 1
+    if event_counts:
+        lines.append("events by kind:")
+        for name, count in sorted(event_counts.items()):
+            lines.append(f"  {name:<18} {count}")
+
+    # Per-run (≈ per-policy cell) decision audit summary.
+    runs: Dict[Tuple[Tuple[str, Any], ...], List[Dict[str, Any]]] = {}
+    for record in records:
+        if record.get("kind") == "decision-audit":
+            runs.setdefault(_run_key(record), []).append(record)
+    if runs:
+        lines.append("decision audit (estimate vs ground truth, delay metric):")
+        for key in sorted(runs):
+            decisions = runs[key]
+            label = (
+                ", ".join(f"{k}={v}" for k, v in key) if key else "(unlabeled run)"
+            )
+            stats = delay_error_stats(
+                c
+                for d in decisions
+                if d.get("metric") == "delay"
+                for c in d.get("candidates", ())
+            )
+            lines.append(f"  {label}: {len(decisions)} decisions")
+            if stats["samples"]:
+                lines.append(
+                    f"    delay error: mean {_fmt_ms(stats['mean_error'])}, "
+                    f"abs {_fmt_ms(stats['mean_abs_error'])} over "
+                    f"{stats['samples']} candidate estimates "
+                    f"(mean estimate {_fmt_ms(stats['mean_estimate'])}, "
+                    f"mean truth {_fmt_ms(stats['mean_truth'])})"
+                )
+            else:
+                lines.append("    delay error: n/a (no paired estimate/truth samples)")
+    return "\n".join(lines)

@@ -1,0 +1,252 @@
+"""Sim-time metrics registry: counters, gauges, and histograms.
+
+Instruments are keyed by ``(name, labels)`` and timestamped in *simulated*
+time (the registry reads a clock callable, normally ``lambda: sim.now``).
+The registry is deliberately tiny — no background threads, no wall-clock,
+no wire protocol — because its consumers are the exporters in
+:mod:`repro.obs.export` and the run-summary report.
+
+Disabled runs use :data:`NULL_SINK` (via ``repro.obs.NULL_OBS``): a falsy
+object whose every method is a no-op, so instrumented hot paths pay exactly
+one truthy check (``if obs: ...``) and nothing else.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSink",
+    "NULL_SINK",
+]
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+# Default histogram bucket upper bounds (seconds-ish scale; callers with
+# other units pass their own).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+)
+
+
+def _labels_key(labels: Dict[str, Any]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class NullSink:
+    """Falsy universal no-op: stands in for any instrument or sub-sink of a
+    disabled observability hub.  ``bool(NULL_SINK)`` is False so guarded call
+    sites (``if obs: obs.metrics.counter(...)``) skip all work; unguarded
+    calls still degrade to harmless no-ops returning the sink itself."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __call__(self, *args: Any, **kwargs: Any) -> "NullSink":
+        return self
+
+    def __getattr__(self, name: str) -> "NullSink":
+        return self
+
+
+NULL_SINK = NullSink()
+
+
+class Counter:
+    """Monotonically increasing count, timestamped at last increment."""
+
+    __slots__ = ("name", "labels", "value", "updated_at", "_clock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelsKey, clock: Callable[[], float]):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0.0
+        self.updated_at: float = 0.0
+        self._clock = clock
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: increment must be >= 0")
+        self.value += amount
+        self.updated_at = self._clock()
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "metric",
+            "type": "counter",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "updated_at": self.updated_at,
+        }
+
+
+class Gauge:
+    """Last-written value, timestamped at last write."""
+
+    __slots__ = ("name", "labels", "value", "updated_at", "_clock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelsKey, clock: Callable[[], float]):
+        self.name = name
+        self.labels = labels
+        self.value: Optional[float] = None
+        self.updated_at: float = 0.0
+        self._clock = clock
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.updated_at = self._clock()
+
+    def add(self, delta: float) -> None:
+        self.set((self.value or 0.0) + delta)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "metric",
+            "type": "gauge",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": self.value,
+            "updated_at": self.updated_at,
+        }
+
+
+class Histogram:
+    """Fixed-bucket distribution with running sum/min/max.
+
+    Buckets are upper bounds; observations above the last bound land in the
+    implicit ``+Inf`` bucket.  Per-observation cost is one bisect over a
+    short tuple.
+    """
+
+    __slots__ = (
+        "name", "labels", "buckets", "counts", "count", "sum",
+        "min", "max", "updated_at", "_clock",
+    )
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelsKey,
+        clock: Callable[[], float],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name}: need at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)   # last slot: +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.updated_at = 0.0
+        self._clock = clock
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.updated_at = self._clock()
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "kind": "metric",
+            "type": "histogram",
+            "name": self.name,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{str(b): c for b, c in zip(self.buckets, self.counts)},
+                "+Inf": self.counts[-1],
+            },
+            "updated_at": self.updated_at,
+        }
+
+
+class MetricsRegistry:
+    """Instrument factory and cache, shared by one run's instrumentation.
+
+    ``counter("x", node="n1")`` returns the same :class:`Counter` on every
+    call with the same name+labels.  A name may not be reused with a
+    different instrument type — that is almost always a typo'd label set.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self._instruments: Dict[Tuple[str, LabelsKey], Any] = {}
+        self._types: Dict[str, str] = {}
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Point every existing and future instrument at a new time source
+        (called when the hub is attached to a Simulator)."""
+        self._clock = clock
+        for inst in self._instruments.values():
+            inst._clock = clock
+
+    def _get(self, cls, name: str, labels: Dict[str, Any], **kwargs):
+        key = (name, _labels_key(labels))
+        inst = self._instruments.get(key)
+        if inst is not None:
+            return inst
+        seen = self._types.get(name)
+        if seen is not None and seen != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {seen}, not {cls.kind}"
+            )
+        inst = cls(name, key[1], self._clock, **kwargs)
+        self._instruments[key] = inst
+        self._types[name] = cls.kind
+        return inst
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS, **labels: Any
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self) -> List[Any]:
+        return list(self._instruments.values())
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """One JSON-ready record per instrument, sorted by (name, labels)
+        for deterministic export."""
+        return [
+            inst.snapshot()
+            for _key, inst in sorted(self._instruments.items(), key=lambda kv: kv[0])
+        ]

@@ -11,7 +11,7 @@ rather than prefixes), but both of P4's common match kinds are provided:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Tuple
 
 from repro.errors import DataPlaneError
 

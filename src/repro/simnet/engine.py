@@ -71,6 +71,10 @@ class Simulator:
         self._stop_requested = False
         self.events_executed: int = 0
         self.events_cancelled: int = 0
+        # Observability hub (repro.obs.Observability) or None when disabled.
+        # Instrumented components read this at call time and guard with one
+        # truthy check, so a run without observability pays nothing else.
+        self.obs: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
 

@@ -64,6 +64,9 @@ class Link:
         # Per-direction byte counters keyed by sending port, for utilization
         # reporting (not visible to the scheduler, which must *infer* load).
         self.bytes_carried = {"a": 0, "b": 0}
+        # Observability: {"a": Counter, "b": Counter} installed by
+        # Observability.attach_network; None (one check per packet) otherwise.
+        self.obs_counters: Optional[dict] = None
 
     def attach(self, port_a: "Port", port_b: "Port") -> None:
         if self.port_a is not None or self.port_b is not None:
@@ -92,6 +95,8 @@ class Link:
     def record_carried(self, port: "Port", nbytes: int) -> None:
         key = "a" if port is self.port_a else "b"
         self.bytes_carried[key] += nbytes
+        if self.obs_counters is not None:
+            self.obs_counters[key].inc(nbytes)
 
     def utilization(self, port: "Port", window: float) -> float:
         """Average utilization of the ``port``-outbound direction over a

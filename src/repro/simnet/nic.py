@@ -15,7 +15,7 @@ A :class:`Port` implements the store-and-forward path of one interface:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.simnet.link import Link
 from repro.simnet.packet import Packet

@@ -10,7 +10,7 @@ different clocks inherit exactly the error the paper describes.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -117,6 +117,15 @@ class Node:
 
     def on_packet_dropped(self, packet: Packet, port: Port) -> None:
         self.packets_dropped += 1
+        obs = self.sim.obs
+        if obs:
+            obs.packet_dropped(
+                queue=f"{self.name}[{port.port_index}]",
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                size_bytes=packet.size_bytes,
+                is_probe=packet.is_probe,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name} addr={self.addr} ports={len(self.ports)}>"

@@ -10,7 +10,7 @@ per-port max-queue-depth register (Section III-A).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 from repro.simnet.packet import Packet
 
@@ -52,6 +52,11 @@ class DropTailQueue:
         self.capacity = capacity
         self._items: Deque[Tuple[Packet, int]] = deque()
         self.stats = QueueStats()
+        # Observability: when ``threshold`` is set, ``on_threshold(depth,
+        # direction)`` fires as the depth crosses it upward ("up") or falls
+        # back below it ("down").  Disabled (None) costs one check per op.
+        self.threshold: Optional[int] = None
+        self.on_threshold: Optional[Callable[[int, str], None]] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -60,6 +65,11 @@ class DropTailQueue:
     def depth(self) -> int:
         """Current number of queued packets (excluding any in transmission)."""
         return len(self._items)
+
+    @property
+    def queued_bytes(self) -> int:
+        """Total bytes currently waiting (ground-truth delay accounting)."""
+        return sum(packet.size_bytes for packet, _ in self._items)
 
     def push(self, packet: Packet) -> Optional[int]:
         """Enqueue ``packet``.  Returns the depth it observed, or ``None`` if
@@ -73,6 +83,9 @@ class DropTailQueue:
         self.stats.bytes_enqueued += packet.size_bytes
         if depth > self.stats.max_depth_seen:
             self.stats.max_depth_seen = depth
+        threshold = self.threshold
+        if threshold is not None and depth + 1 == threshold and self.on_threshold:
+            self.on_threshold(threshold, "up")
         return depth
 
     def pop(self) -> Optional[Tuple[Packet, int]]:
@@ -81,7 +94,11 @@ class DropTailQueue:
         if not self._items:
             return None
         self.stats.dequeued += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        threshold = self.threshold
+        if threshold is not None and len(self._items) == threshold - 1 and self.on_threshold:
+            self.on_threshold(len(self._items), "down")
+        return item
 
     def clear(self) -> int:
         """Drop everything queued; returns the number of packets discarded."""

@@ -20,7 +20,7 @@ fixed-fast and fixed-slow probing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.errors import TelemetryError
 from repro.simnet.addressing import PROTO_UDP

@@ -14,7 +14,7 @@ the scheduler (mesh-probing mode).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.errors import TelemetryError
 from repro.p4.headers import PROBE_HEADER_SIZE, encode_probe_header
@@ -117,6 +117,9 @@ class ProbeSender:
         # shrink it to the actual INT stack length.
         packet.size_bytes = self.probe_size
         self.probes_sent += 1
+        obs = self.host.sim.obs
+        if obs:
+            obs.probe_sent(src=self.host.addr, dst=target, seq=self._seq)
         self.host.send(packet)
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.telemetry_store import TelemetryStore
 from repro.p4.headers import IntHopRecord
-from repro.simnet.engine import Simulator
 from repro.telemetry.records import ProbeReport, host_node, switch_node
 
 H = host_node

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ExperimentError
 from repro.experiments.calibration import (
-    CalibrationPoint,
     calibration_to_curve,
     run_calibration,
     run_calibration_sweep,

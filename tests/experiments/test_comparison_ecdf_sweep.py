@@ -4,7 +4,7 @@ import pytest
 
 from repro.edge.task import SizeClass
 from repro.errors import ExperimentError
-from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.comparison import run_comparison
 from repro.experiments.ecdf import fraction_above, gain_ecdf, paired_gains
 from repro.experiments.harness import (
     POLICY_AWARE,

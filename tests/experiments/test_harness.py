@@ -8,7 +8,6 @@ from repro.experiments.harness import (
     POLICY_AWARE,
     POLICY_NEAREST,
     POLICY_RANDOM,
-    SMOKE_SCALE,
     ExperimentConfig,
     ExperimentScale,
     run_experiment,

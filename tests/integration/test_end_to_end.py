@@ -6,7 +6,6 @@ pipeline reacts the way the paper describes, across module boundaries."""
 import pytest
 
 from repro.core import NetworkAwareScheduler
-from repro.core.client import SchedulerClient
 from repro.edge.device import EdgeDevice
 from repro.edge.metrics import MetricsCollector
 from repro.edge.server import EdgeServer

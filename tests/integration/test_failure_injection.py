@@ -11,7 +11,7 @@ from repro.edge.server import EdgeServer
 from repro.edge.task import Job, SizeClass, Task
 from repro.experiments.fig4_topology import build_fig4_network
 from repro.simnet.addressing import PORT_PROBE, PROTO_UDP
-from repro.simnet.flows import MSS, UdpCbrFlow, UdpSink
+from repro.simnet.flows import UdpCbrFlow, UdpSink
 from repro.simnet.packet import FLAG_PROBE, MTU
 from repro.simnet.random import RandomStreams
 from repro.telemetry.collector import IntCollector

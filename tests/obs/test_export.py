@@ -1,0 +1,98 @@
+"""Exporters: JSONL round-trip, CSV, and the obs-report renderer."""
+
+import json
+
+from repro.obs import Observability
+from repro.obs.export import (
+    read_jsonl,
+    render_obs_report,
+    write_jsonl,
+    write_metrics_csv,
+)
+
+
+def _populated_hub(run=None):
+    obs = Observability(run=run)
+    obs.metrics.counter("probes_sent_total", src=1).inc(5)
+    obs.metrics.gauge("run_sim_time_seconds").set(30.0)
+    obs.events.packet_dropped(queue="s1[0]", flow_id=2, seq=7, size_bytes=1500,
+                              is_probe=False)
+    obs.audit.record(
+        requester_addr=1,
+        metric="delay",
+        candidates=[
+            {"server_addr": 2, "value": 0.03, "estimated_delay": 0.03,
+             "truth_delay": 0.01},
+            {"server_addr": 3, "value": 0.05, "estimated_delay": 0.05,
+             "truth_delay": 0.06},
+        ],
+        chosen_addr=2,
+    )
+    return obs
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        obs = _populated_hub(run={"policy": "aware"})
+        path = str(tmp_path / "run.jsonl")
+        n = write_jsonl(obs.snapshot_records(), path)
+        records = read_jsonl(path)
+        assert len(records) == n == 4
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"metric", "event", "decision-audit"}
+        assert all(r["run"] == {"policy": "aware"} for r in records)
+
+    def test_append_mode(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl([{"kind": "metric", "name": "a"}], path)
+        write_jsonl([{"kind": "metric", "name": "b"}], path, append=True)
+        assert [r["name"] for r in read_jsonl(path)] == ["a", "b"]
+
+    def test_lines_are_single_json_objects(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        write_jsonl(_populated_hub().snapshot_records(), path)
+        with open(path) as fh:
+            for line in fh:
+                assert isinstance(json.loads(line), dict)
+
+
+class TestCsv:
+    def test_metrics_only(self, tmp_path):
+        path = str(tmp_path / "metrics.csv")
+        n = write_metrics_csv(_populated_hub().snapshot_records(), path)
+        text = open(path).read()
+        assert n == 2
+        assert "probes_sent_total" in text and "src=1" in text
+        assert "packet" not in text  # events excluded
+
+
+class TestReport:
+    def test_summary_counts_and_error(self, tmp_path):
+        obs = _populated_hub(run={"policy": "aware", "size_class": "S"})
+        report = render_obs_report(obs.snapshot_records())
+        assert "metric 2, event 1, decision-audit 1" in report
+        assert "packet_dropped" in report
+        assert "policy=aware" in report
+        assert "delay error" in report
+        # mean abs error of (0.03-0.01, 0.05-0.06) = 15 ms
+        assert "abs 15.00 ms" in report
+
+    def test_no_truth_prints_na(self):
+        obs = Observability(run={"policy": "nearest"})
+        obs.audit.record(
+            requester_addr=1, metric="delay",
+            candidates=[{"server_addr": 2, "value": 1}], chosen_addr=2,
+        )
+        report = render_obs_report(obs.snapshot_records())
+        assert "n/a" in report
+
+
+class TestSummary:
+    def test_run_summary_digest(self):
+        obs = _populated_hub(run={"policy": "aware"})
+        summary = obs.summary()
+        assert summary["instruments"] == 2
+        assert summary["events"] == 1
+        assert summary["decisions"] == 1
+        assert summary["delay_error"]["samples"] == 2
+        assert summary["events_by_kind"] == {"packet_dropped": 1}

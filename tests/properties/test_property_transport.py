@@ -1,7 +1,6 @@
 """Property tests: the reliable transport delivers under arbitrary
 queue capacities (loss patterns) and transfer sizes."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simnet.engine import PeriodicTimer, Simulator
+from repro.simnet.engine import PeriodicTimer
 
 
 class TestScheduling:

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import TopologyError
 from repro.simnet.addressing import PROTO_TCP, PROTO_UDP
 from repro.simnet.packet import Packet
-from repro.units import mbps, ms
+from repro.units import mbps
 
 
 class TestHostDemux:

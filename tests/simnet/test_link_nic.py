@@ -5,8 +5,6 @@ import pytest
 from repro.errors import TopologyError
 from repro.simnet.addressing import PROTO_UDP
 from repro.simnet.link import Link
-from repro.simnet.packet import HEADER_OVERHEAD, Packet
-from repro.simnet.topology import Network
 from repro.units import mbps, ms, transmission_time
 
 

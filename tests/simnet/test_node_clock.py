@@ -62,7 +62,6 @@ class TestServiceJitter:
 
     def test_network_applies_jitter_to_switches_only(self, sim, streams):
         from repro.simnet.topology import Network
-        from repro.units import mbps
 
         net = Network(sim, streams, switch_service_jitter=0.15)
         host = net.add_host("h")

@@ -69,9 +69,22 @@ class TestPacketTracer:
     def test_detach_restores_handlers(self, sim, line3):
         net = line3
         nodes = self._all_nodes(net)
-        originals = [n.on_ingress for n in nodes]
+        originals = [
+            (n.on_ingress, n.on_egress, n.on_packet_dropped) for n in nodes
+        ]
         tracer = PacketTracer(nodes)
+        # While attached, every hook has been wrapped.  (Bound methods are
+        # compared with ==, which checks __self__ and __func__.)
+        for node, (ingress, egress, dropped) in zip(nodes, originals):
+            assert node.on_ingress != ingress
+            assert node.on_egress != egress
+            assert node.on_packet_dropped != dropped
         tracer.detach()
+        # Detach restores the pre-attach callables.
+        for node, (ingress, egress, dropped) in zip(nodes, originals):
+            assert node.on_ingress == ingress
+            assert node.on_egress == egress
+            assert node.on_packet_dropped == dropped
         net.host("h2").bind(PROTO_UDP, 9, lambda p: None)
         h1 = net.host("h1")
         h1.send(h1.new_packet(net.address_of("h2"), dst_port=9))

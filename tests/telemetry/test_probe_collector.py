@@ -3,11 +3,8 @@
 import pytest
 
 from repro.errors import TelemetryError
-from repro.simnet.flows import UdpCbrFlow, UdpSink
-from repro.simnet.random import RandomStreams
 from repro.telemetry.collector import IntCollector
 from repro.telemetry.probe import DEFAULT_PROBE_INTERVAL, ProbeResponder, ProbeSender
-from repro.telemetry.records import host_node, switch_node
 from repro.units import kbps, mbps, ms
 
 
@@ -137,3 +134,66 @@ class TestResponderAndCollector:
         ProbeSender(net.host("h1"), [net.address_of("h3")]).start()
         sim.run(until=0.35)
         assert len(got) == collector.reports_ingested > 0
+
+
+class TestCollectorObservability:
+    """With an Observability hub attached, malformed input is diagnosable."""
+
+    def _attach(self, sim):
+        from repro.obs import Observability
+
+        obs = Observability()
+        obs.bind_sim(sim)
+        return obs
+
+    def test_malformed_payload_emits_warning_with_context(self, sim, line3):
+        obs = self._attach(sim)
+        collector = IntCollector(line3.host("h3"))
+        collector.ingest_probe(
+            probe_src=7, probe_dst=2, seq=41, sent_at=0.0, received_at=0.0,
+            payload=b"NOTAPROBE", final_link_latency=None,
+        )
+        warnings = obs.events.of_kind("warning")
+        assert len(warnings) == 1
+        fields = warnings[0].fields
+        assert fields["reason"] == "malformed_probe_payload"
+        assert fields["src"] == 7 and fields["seq"] == 41
+        assert obs.metrics.counter("probe_reports_malformed_total").value == 1
+
+    def test_malformed_wrapped_report_emits_warning(self, sim, line3):
+        net = line3
+        obs = self._attach(sim)
+        collector = IntCollector(net.host("h3"))
+        h1 = net.host("h1")
+        from repro.telemetry.probe import PORT_PROBE_REPORT
+
+        h1.send(h1.new_packet(
+            net.address_of("h3"), dst_port=PORT_PROBE_REPORT, message=("garbage",)
+        ))
+        sim.run(until=0.5)
+        assert collector.reports_malformed == 1
+        warnings = obs.events.of_kind("warning")
+        assert [e.fields["reason"] for e in warnings] == ["malformed_wrapped_report"]
+        assert warnings[0].fields["src"] == net.address_of("h1")
+        assert "seq" in warnings[0].fields
+
+    def test_seq_gap_counts_lost_probes(self, sim, line3):
+        obs = self._attach(sim)
+        collector = IntCollector(line3.host("h3"))
+        # Stream with stride 1: seqs 0, 1, then a jump to 4 -> 2 lost.
+        for seq in (0, 1, 4):
+            collector._track_loss(obs, src=1, dst=3, seq=seq)
+        assert collector.probes_lost == 2
+        lost = obs.events.of_kind("probe_lost")
+        assert len(lost) == 1
+        assert lost[0].fields["lost"] == 2
+
+    def test_round_robin_stride_inferred(self, sim, line3):
+        obs = self._attach(sim)
+        collector = IntCollector(line3.host("h3"))
+        # Two targets share one seq counter: this stream sees 0, 2, 4, ...
+        for seq in (0, 2, 4, 6):
+            collector._track_loss(obs, src=1, dst=3, seq=seq)
+        assert collector.probes_lost == 0
+        collector._track_loss(obs, src=1, dst=3, seq=10)  # skipped seq 8
+        assert collector.probes_lost == 1

@@ -1,6 +1,5 @@
 """ProbeReport decoding helpers: path, latencies, port observations."""
 
-import pytest
 
 from repro.p4.headers import IntHopRecord
 from repro.telemetry.records import ProbeReport, host_node, switch_node

@@ -11,7 +11,7 @@ from repro.analysis.traces import (
 )
 from repro.simnet.flows import UdpCbrFlow, UdpSink
 from repro.simnet.random import RandomStreams
-from repro.simnet.trace import HopEvent, PacketTracer
+from repro.simnet.trace import PacketTracer
 from repro.units import mbps
 
 

@@ -57,3 +57,44 @@ def test_compare_command(capsys, tmp_path):
     ])
     assert rc == 0
     assert "gain vs nearest" in out.read_text()
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+
+def test_compare_obs_out_writes_all_record_kinds(capsys, tmp_path):
+    from repro.obs.export import read_jsonl
+
+    obs_out = tmp_path / "run.jsonl"
+    rc = main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--obs-out", str(obs_out),
+    ])
+    assert rc == 0
+    records = read_jsonl(str(obs_out))
+    kinds = {r["kind"] for r in records}
+    assert kinds == {"metric", "event", "decision-audit"}
+    # Every record carries run labels identifying its comparison cell.
+    policies = {r["run"]["policy"] for r in records}
+    assert "aware" in policies and len(policies) >= 2
+
+
+def test_obs_report_command(capsys, tmp_path):
+    obs_out = tmp_path / "run.jsonl"
+    main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--obs-out", str(obs_out),
+    ])
+    capsys.readouterr()
+    report_out = tmp_path / "report.txt"
+    rc = main(["obs-report", str(obs_out), "--out", str(report_out)])
+    assert rc == 0
+    text = report_out.read_text()
+    assert "policy=aware" in text
+    assert "delay error" in text
