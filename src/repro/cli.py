@@ -6,12 +6,18 @@ Commands map one-to-one onto the experiment harnesses:
 * ``compare``   — a Figs. 5/6/7-style policy comparison;
 * ``sweep``     — the Fig. 9 probing-interval sweep;
 * ``reproduce`` — everything, in paper order (Fig. 3, 5, 6, 7, 8, 9);
+* ``faults``    — list/show/run fault-injection scenarios (robustness);
 * ``obs-report`` — summarize an observability export (``--obs-out`` file).
 
 All output is plain text tables (`repro.experiments.report`); ``--out``
 additionally writes the report to a file.  ``--obs-out PATH`` (``compare``
 and ``reproduce``) captures the observability layer — metrics, structured
 events, and the scheduler decision audit — as JSONL.
+
+``--faults PLAN`` (``compare`` and ``reproduce``) injects a fault scenario —
+a built-in name (see ``repro faults``) or a JSON plan file — into every run;
+``--no-degradation`` additionally disables retry/failover and telemetry
+quarantine, showing what the faults cost an unprotected system.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.edge.task import SizeClass
+from repro.errors import ReproError
 from repro.experiments.calibration import run_calibration_sweep
 from repro.experiments.comparison import (
     FIG5_CONFIG,
@@ -78,6 +85,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--obs-out", type=str, default=None, metavar="PATH",
         help="capture the observability layer (metrics + events + decision "
              "audit) to a JSONL file; see the obs-report command",
+    )
+
+
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", type=str, default=None, metavar="PLAN",
+        help="inject a fault scenario into every run: a built-in name "
+             "(see the 'faults' command) or a JSON plan file",
+    )
+    parser.add_argument(
+        "--no-degradation", action="store_true",
+        help="with --faults: disable retry/failover and telemetry "
+             "quarantine (the unprotected-system ablation)",
+    )
+
+
+def _apply_faults(config: ExperimentConfig, args: argparse.Namespace) -> ExperimentConfig:
+    """Fold --faults / --no-degradation into an experiment config."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return config
+    from repro.experiments.fault_scenarios import resolve_plan
+
+    return replace(
+        config,
+        fault_plan=resolve_plan(spec),
+        degradation=not getattr(args, "no_degradation", False),
     )
 
 
@@ -141,6 +175,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     reporter = _Reporter(args.out)
     base, measure = FIGURES[args.figure]
     config = replace(base, scale=SCALES[args.scale], seed=args.seed)
+    config = _apply_faults(config, args)
     classes = tuple(_CLASSES[c] for c in args.classes)
     comparison = run_comparison(
         config,
@@ -212,7 +247,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     for name, (base, measure) in FIGURES.items():
         reporter.emit(f"\n## {name} ({base.workload}, {base.metric} ranking, {measure} time)")
         comparison = run_comparison(
-            replace(base, scale=scale, seed=args.seed),
+            _apply_faults(replace(base, scale=scale, seed=args.seed), args),
             size_classes=classes,
             policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
             obs_factory=_obs_factory(args.obs_out, figure=name),
@@ -242,6 +277,43 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     ]
     reporter.emit(render_probing_sweep(sweeps))
     reporter.emit(f"\nwall-clock: {time.time() - started:.0f}s")
+    reporter.close()
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import BUILTIN_SCENARIOS, builtin_plan
+    from repro.experiments.fault_scenarios import (
+        compare_degradation,
+        render_fault_comparison,
+        resolve_plan,
+    )
+
+    reporter = _Reporter(args.out)
+    if args.show:
+        reporter.emit(resolve_plan(args.show).to_json())
+        reporter.close()
+        return 0
+    if args.run:
+        plan = resolve_plan(args.run)
+        config = ExperimentConfig(scale=SCALES[args.scale], seed=args.seed)
+        rows = compare_degradation(plan, base_config=config)
+        reporter.emit(render_fault_comparison(plan, rows))
+        reporter.close()
+        # CI contract: a scenario where a *degraded* policy completes zero
+        # tasks means graceful degradation is broken — fail loudly.
+        broken = [r for r in rows if r.degradation and r.tasks_completed == 0]
+        if broken:
+            print(
+                "error: zero tasks completed with degradation on for: "
+                + ", ".join(r.policy for r in broken),
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    reporter.emit("built-in fault scenarios (run with: repro faults --run NAME):")
+    for name in sorted(BUILTIN_SCENARIOS):
+        reporter.emit(f"  {name:<15} {builtin_plan(name).description}")
     reporter.close()
     return 0
 
@@ -286,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--figure", choices=sorted(FIGURES), default="fig5")
     p.add_argument("--scale", choices=sorted(SCALES), default="quick")
     p.add_argument("--classes", nargs="+", choices=sorted(_CLASSES), default=["VS", "S"])
+    _add_faults(p)
     _add_common(p)
     p.set_defaults(fn=cmd_compare)
 
@@ -307,8 +380,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("reproduce", help="regenerate every figure")
     p.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    _add_faults(p)
     _add_common(p)
     p.set_defaults(fn=cmd_reproduce)
+
+    p = sub.add_parser(
+        "faults", help="list, show, or run fault-injection scenarios"
+    )
+    p.add_argument("--show", metavar="PLAN", default=None,
+                   help="print a scenario (or JSON plan file) as JSON")
+    p.add_argument("--run", metavar="PLAN", default=None,
+                   help="run the degradation comparison for a scenario")
+    p.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    _add_common(p)
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("obs-report", help="summarize an --obs-out JSONL export")
     p.add_argument("path", help="JSONL file written via --obs-out")
@@ -321,7 +406,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -54,23 +54,32 @@ class DelayEstimator:
         # (20 ms) detour.
         self.qdepth_floor = qdepth_floor
 
-    def path_delay(self, path: Sequence[TelemetryNodeId]) -> float:
+    def path_delay(
+        self, path: Sequence[TelemetryNodeId], *, allow_stale: bool = False
+    ) -> float:
         """Algorithm 1's inner loops: total link delay + k × total queue
-        occupancy along a directed path."""
+        occupancy along a directed path.  ``allow_stale`` ranks from
+        last-known link latencies past the staleness horizon (degraded
+        mode); queue terms still decay — an old congestion reading is
+        evidence of nothing."""
         total_link = 0.0
         total_hop = 0.0
         for u, v in zip(path, path[1:]):
-            total_link += self.store.link_delay(u, v, default=self.default_link_delay)
+            total_link += self.store.link_delay(
+                u, v, default=self.default_link_delay, allow_stale=allow_stale
+            )
             if u[0] == "sw":
                 qdepth = self.store.max_qdepth(u, v)
                 if qdepth >= self.qdepth_floor:
                     total_hop += self.k * qdepth
         return total_link + total_hop
 
-    def delay_between(self, src: TelemetryNodeId, dst: TelemetryNodeId) -> float:
+    def delay_between(
+        self, src: TelemetryNodeId, dst: TelemetryNodeId, *, allow_stale: bool = False
+    ) -> float:
         """Delay over the path the inferred topology predicts data will take."""
         path = self.store.topology.path(src, dst)
-        return self.path_delay(path)
+        return self.path_delay(path, allow_stale=allow_stale)
 
     @staticmethod
     def calibrated_k(

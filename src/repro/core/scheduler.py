@@ -15,7 +15,8 @@ Wire messages (Python objects riding :attr:`Packet.message`):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import SchedulingError
 from repro.core.estimators import (
@@ -37,6 +38,7 @@ __all__ = [
     "METRIC_DELAY",
     "METRIC_BANDWIDTH",
     "METRIC_RAW",
+    "STALE_BW_FACTOR",
 ]
 
 METRIC_DELAY = "delay"
@@ -48,6 +50,10 @@ METRIC_RAW = "raw"
 
 # Per-query service time at the scheduler (decode + rank + encode).
 DEFAULT_PROCESSING_DELAY = 0.5e-3
+# Degraded-mode ranking: a quarantined (stale-telemetry) candidate's
+# last-known bandwidth is discounted by this factor, mirroring the additive
+# delay penalty — stale good news is treated as half as good.
+STALE_BW_FACTOR = 0.5
 # Response size grows with the candidate list: address + float value.
 _BYTES_PER_RANK_ENTRY = 12
 
@@ -164,7 +170,15 @@ class NetworkAwareScheduler(SchedulerService):
         curve: Optional[QdepthUtilizationCurve] = None,
         staleness: float = 2.0,
         processing_delay: float = DEFAULT_PROCESSING_DELAY,
+        quarantine_ttl: Optional[float] = None,
+        stale_penalty: float = 0.050,
     ) -> None:
+        if quarantine_ttl is not None and quarantine_ttl <= 0:
+            raise SchedulingError(
+                f"quarantine_ttl must be positive, got {quarantine_ttl}"
+            )
+        if stale_penalty < 0:
+            raise SchedulingError(f"stale_penalty must be >= 0, got {stale_penalty}")
         super().__init__(host, server_addrs, processing_delay=processing_delay)
         self.collector = IntCollector(host)
         self.store = TelemetryStore(host.sim, staleness=staleness)
@@ -176,19 +190,91 @@ class NetworkAwareScheduler(SchedulerService):
         self.bandwidth_estimator = BandwidthEstimator(
             self.store, link_capacity_bps=link_capacity_bps, curve=curve
         )
+        # Graceful degradation (off by default — None preserves the paper's
+        # behavior exactly): candidates whose telemetry is older than the TTL
+        # are quarantined to the back of the ranking, scored from last-known
+        # EWMAs plus a penalty instead of from values the staleness horizon
+        # already zeroed out.  Never-seen nodes are NOT quarantined: at cold
+        # start nothing is fresh and everything should still be rankable.
+        self.quarantine_ttl = quarantine_ttl
+        self.stale_penalty = stale_penalty
+        self._quarantined: Set = set()
 
     def rank(self, requester_addr: int, metric: str) -> List[Tuple[int, float]]:
         origin = host_node(requester_addr)
         candidates = [host_node(a) for a in self.candidates_for(requester_addr)]
+        if self.quarantine_ttl is not None:
+            fresh, stale = self._partition_by_freshness(candidates)
+        else:
+            fresh, stale = candidates, []
         if metric == METRIC_DELAY:
-            ranked = rank_by_delay(self.delay_estimator, origin, candidates)
+            ranked = rank_by_delay(self.delay_estimator, origin, fresh)
+            ranked += self._rank_stale_by_delay(origin, stale)
         elif metric == METRIC_BANDWIDTH:
-            ranked = rank_by_bandwidth(self.bandwidth_estimator, origin, candidates)
+            ranked = rank_by_bandwidth(self.bandwidth_estimator, origin, fresh)
+            ranked += self._rank_stale_by_bandwidth(origin, stale)
         elif metric == METRIC_RAW:
             return self._rank_raw(origin, candidates)
         else:
             raise SchedulingError(f"unknown ranking metric {metric!r}")
         return [(node[1], value) for node, value in ranked]
+
+    # -- graceful degradation ----------------------------------------------
+
+    @property
+    def quarantined_nodes(self) -> Set:
+        """Candidates currently held back for stale telemetry."""
+        return set(self._quarantined)
+
+    def _partition_by_freshness(self, candidates):
+        """Split candidates into (fresh, stale) by telemetry age, emitting
+        quarantine transition events as nodes cross the TTL either way."""
+        ttl = self.quarantine_ttl
+        fresh, stale = [], []
+        obs = self.host.sim.obs
+        for node in candidates:
+            age = self.store.node_age(node)
+            if age is not None and age > ttl:
+                stale.append(node)
+                if node not in self._quarantined:
+                    self._quarantined.add(node)
+                    if obs:
+                        obs.node_quarantined(node=f"{node[0]}:{node[1]}", age=age)
+            else:
+                fresh.append(node)
+                if node in self._quarantined:
+                    self._quarantined.discard(node)
+                    if obs:
+                        obs.node_unquarantined(node=f"{node[0]}:{node[1]}")
+        return fresh, stale
+
+    def _rank_stale_by_delay(self, origin, stale) -> List[Tuple[Tuple, float]]:
+        """Quarantined candidates, best-last-known-delay first, each charged
+        the staleness penalty.  With a dark store this degenerates to the
+        hop-count (Nearest) ordering — every link falls back to the default
+        delay — which is exactly the right blind-mode behavior."""
+        ranked = []
+        for node in stale:
+            try:
+                delay = self.delay_estimator.delay_between(
+                    origin, node, allow_stale=True
+                )
+            except SchedulingError:
+                delay = math.inf
+            ranked.append((node, delay + self.stale_penalty))
+        ranked.sort(key=lambda item: (item[1], item[0]))
+        return ranked
+
+    def _rank_stale_by_bandwidth(self, origin, stale) -> List[Tuple[Tuple, float]]:
+        ranked = []
+        for node in stale:
+            try:
+                bw = self.bandwidth_estimator.throughput_between(origin, node)
+            except SchedulingError:
+                bw = 0.0
+            ranked.append((node, bw * STALE_BW_FACTOR))
+        ranked.sort(key=lambda item: (-item[1], item[0]))
+        return ranked
 
     def _audit_decision(self, obs, requester_addr: int, metric: str, ranking) -> None:
         """Algorithm 1's full working: per candidate, the per-hop Q(h) and

@@ -75,13 +75,20 @@ class TelemetryStore:
         self.qdepth_window = qdepth_window
         self.topology = InferredTopology()
         self._links: Dict[Tuple[TelemetryNodeId, TelemetryNodeId], LinkState] = {}
+        # Last sim time each node appeared on any probe path — the signal
+        # graceful degradation uses to tell "telemetry about this node is
+        # fresh" from "this corner of the network has gone dark".
+        self._node_seen: Dict[TelemetryNodeId, float] = {}
         self.reports_processed = 0
 
     # -- ingestion (collector subscriber) ----------------------------------
 
     def update(self, report: ProbeReport) -> None:
         now = self.sim.now
-        self.topology.observe_path(report.path_nodes())
+        path = report.path_nodes()
+        self.topology.observe_path(path)
+        for node in path:
+            self._node_seen[node] = now
         for u, v, latency in report.link_latencies():
             state = self._state(u, v)
             if latency is not None:
@@ -119,14 +126,21 @@ class TelemetryStore:
         return self._links.get((u, v))
 
     def link_delay(
-        self, u: TelemetryNodeId, v: TelemetryNodeId, default: float = 0.0
+        self,
+        u: TelemetryNodeId,
+        v: TelemetryNodeId,
+        default: float = 0.0,
+        *,
+        allow_stale: bool = False,
     ) -> float:
         """Smoothed latency of the directed link, or ``default`` when never
-        (or too long ago) measured."""
+        (or too long ago) measured.  ``allow_stale`` keeps returning the
+        last-known EWMA past the staleness horizon — degraded-mode ranking
+        prefers an old measurement over no measurement."""
         state = self._links.get((u, v))
         if state is None or state.latency_ewma is None:
             return default
-        if self.sim.now - state.latency_updated_at > self.staleness:
+        if not allow_stale and self.sim.now - state.latency_updated_at > self.staleness:
             return default
         return state.latency_ewma
 
@@ -144,6 +158,16 @@ class TelemetryStore:
             return 0
         readings = state.qdepth_readings
         return readings[0][1] if readings else 0
+
+    def node_age(self, node: TelemetryNodeId) -> Optional[float]:
+        """Seconds since ``node`` last appeared on any probe path, or
+        ``None`` when it has never been observed.  Never-seen is distinct
+        from stale on purpose: at cold start nothing has been measured and
+        nothing should be quarantined."""
+        seen = self._node_seen.get(node)
+        if seen is None:
+            return None
+        return self.sim.now - seen
 
     def known_link_count(self) -> int:
         return len(self._links)

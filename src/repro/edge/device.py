@@ -43,9 +43,18 @@ class EdgeDevice:
         on_job_done: Optional[Callable[[Job], None]] = None,
         selection_policy: Optional[Callable[[Job, List[Tuple[int, object]]], List[int]]] = None,
         task_timeout: Optional[float] = None,
+        retry_timeout: Optional[float] = None,
+        max_attempts: int = 1,
+        retry_backoff: float = 2.0,
     ) -> None:
         if task_timeout is not None and task_timeout <= 0:
             raise WorkloadError(f"task_timeout must be positive, got {task_timeout}")
+        if retry_timeout is not None and retry_timeout <= 0:
+            raise WorkloadError(f"retry_timeout must be positive, got {retry_timeout}")
+        if max_attempts < 1:
+            raise WorkloadError(f"max_attempts must be >= 1, got {max_attempts}")
+        if retry_backoff < 1.0:
+            raise WorkloadError(f"retry_backoff must be >= 1, got {retry_backoff}")
         self.host = host
         self.metrics = metrics
         self.metric = metric
@@ -58,6 +67,21 @@ class EdgeDevice:
         # semantics — but long-running deployments need it.
         self.task_timeout = task_timeout
         self.tasks_timed_out = 0
+        # Retry / failover (off unless retry_timeout is set): a task whose
+        # result has not arrived retry_timeout seconds after its upload
+        # started is re-sent to the *next* server in the job's ranking —
+        # the graceful-degradation answer to a crashed or unreachable edge
+        # server.  Timeouts back off exponentially; after max_attempts the
+        # task is marked failed (or left to the hard task_timeout).
+        self.retry_timeout = retry_timeout
+        self.max_attempts = max_attempts
+        self.retry_backoff = retry_backoff
+        self.tasks_retried = 0
+        self.failovers = 0
+        self._rankings: Dict[int, List[int]] = {}      # job_id -> ranked addrs
+        self._tasks: Dict[int, object] = {}            # task_id -> Task
+        self._task_attempts: Dict[int, int] = {}
+        self._task_server_idx: Dict[int, int] = {}
         if selection_policy is None:
             from repro.edge.policies import top_k
 
@@ -106,8 +130,16 @@ class EdgeDevice:
         record = self._records.get(task_id)
         if record is None or record.result_received_at is not None or record.failed:
             return
-        record.failed = True
         self.tasks_timed_out += 1
+        self._mark_task_failed(record)
+
+    def _mark_task_failed(self, record: TaskRecord) -> None:
+        """Terminal failure: close the record and the job's books.  Safe to
+        call from any of the competing failure paths (hard timeout, retry
+        exhaustion, server rejection) — first caller wins."""
+        if record.failed or record.result_received_at is not None:
+            return
+        record.failed = True
         remaining = self._job_pending.get(record.job_id, 0) - 1
         self._job_pending[record.job_id] = remaining
         self._finish_job_if_done(record.job_id)
@@ -129,10 +161,17 @@ class EdgeDevice:
                 f"selection policy returned {len(servers)} servers for "
                 f"{len(job.tasks)} tasks"
             )
+        ranked_addrs = [addr for addr, _value in ranking]
+        if self.retry_timeout is not None:
+            self._rankings[job.job_id] = ranked_addrs
         for task, server_addr in zip(job.tasks, servers):
             record = self._records[task.task_id]
             record.ranking_received_at = now
             record.server_addr = server_addr
+            if self.retry_timeout is not None:
+                self._tasks[task.task_id] = task
+                self._task_attempts[task.task_id] = 1
+                self._task_server_idx[task.task_id] = ranked_addrs.index(server_addr)
             self._start_transfer(task, record, server_addr)
 
     # -- data upload --------------------------------------------------------------
@@ -154,6 +193,44 @@ class EdgeDevice:
             on_complete=lambda t, r=record: self._on_transfer_done(r, t),
         )
         transfer.start()
+        if self.retry_timeout is not None:
+            attempt = self._task_attempts.get(task.task_id, 1)
+            deadline = self.retry_timeout * (self.retry_backoff ** (attempt - 1))
+            self.host.sim.schedule(deadline, self._check_task, task.task_id)
+
+    def _check_task(self, task_id: int) -> None:
+        """Retry deadline: if the result is still outstanding, fail over to
+        the next-ranked server, or give up once attempts are exhausted."""
+        record = self._records.get(task_id)
+        if record is None or record.result_received_at is not None or record.failed:
+            return
+        attempt = self._task_attempts.get(task_id, 1)
+        if attempt >= self.max_attempts:
+            self._mark_task_failed(record)
+            return
+        task = self._tasks.get(task_id)
+        ranked = self._rankings.get(record.job_id)
+        if task is None or not ranked:
+            self._mark_task_failed(record)
+            return
+        next_idx = (self._task_server_idx.get(task_id, 0) + 1) % len(ranked)
+        next_addr = ranked[next_idx]
+        self._task_attempts[task_id] = attempt + 1
+        self._task_server_idx[task_id] = next_idx
+        self.tasks_retried += 1
+        if next_addr != record.server_addr:
+            self.failovers += 1
+        record.server_addr = next_addr
+        obs = self.host.sim.obs
+        if obs:
+            obs.events.task_transition(
+                task_id=task_id,
+                state="retry",
+                device=self.host.name,
+                server_addr=next_addr,
+                attempt=attempt + 1,
+            )
+        self._start_transfer(task, record, next_addr)
 
     def _on_transfer_done(self, record: TaskRecord, transfer: ReliableTransfer) -> None:
         record.transfer_completed = self.host.sim.now
@@ -178,10 +255,10 @@ class EdgeDevice:
         record = self._records.get(task_id)
         if record is None or record.result_received_at is not None or record.failed:
             return
-        if ok:
-            record.result_received_at = self.host.sim.now
-        else:
-            record.failed = True
+        if not ok:
+            self._mark_task_failed(record)
+            return
+        record.result_received_at = self.host.sim.now
         remaining = self._job_pending.get(record.job_id, 0) - 1
         self._job_pending[record.job_id] = remaining
         self._finish_job_if_done(record.job_id)
@@ -191,8 +268,13 @@ class EdgeDevice:
             return
         job = self._jobs.pop(job_id, None)
         self._job_pending.pop(job_id, None)
+        self._rankings.pop(job_id, None)
         if job is None:
             return
+        for task in job.tasks:
+            self._tasks.pop(task.task_id, None)
+            self._task_attempts.pop(task.task_id, None)
+            self._task_server_idx.pop(task.task_id, None)
         self.jobs_completed += 1
         if self.on_job_done is not None:
             self.on_job_done(job)

@@ -14,7 +14,7 @@ from typing import Deque, Dict, Optional, Set
 
 from repro.errors import WorkloadError
 from repro.simnet.addressing import PORT_TASK, PROTO_UDP
-from repro.simnet.engine import PeriodicTimer
+from repro.simnet.engine import EventHandle, PeriodicTimer
 from repro.simnet.flows import TransferSinkApp, _ReassemblyState
 from repro.simnet.host import Host
 from repro.simnet.packet import HEADER_OVERHEAD, MTU
@@ -55,6 +55,14 @@ class EdgeServer:
         self.tasks_completed = 0
         self.tasks_rejected = 0
         self.busy_time = 0.0
+        # Fault-injection state.  A crashed server silently loses in-flight
+        # and arriving work (the device's retry/failover recovers it); a
+        # paused one keeps accepting but stops starting executions.
+        self.alive = True
+        self.paused = False
+        self.crashes = 0
+        self.tasks_dropped = 0
+        self._exec_handles: Dict[int, EventHandle] = {}
         # Result datagrams are retransmitted until the device acknowledges —
         # a lost result must not strand the task.
         self._unacked_results: Dict[int, dict] = {}
@@ -76,6 +84,11 @@ class EdgeServer:
         required = {"task_id", "exec_time", "reply_addr", "reply_port"}
         if not required.issubset(meta):
             return  # not a task upload (some other user of the port)
+        if not self.alive:
+            # A crashed server answers nothing — not even a failure result.
+            # The device's task timeout / retry path is the recovery story.
+            self.tasks_dropped += 1
+            return
         requirements = meta.get("requirements", frozenset())
         if requirements and not set(requirements).issubset(self.capabilities):
             # Heterogeneity extension: this server cannot run the task.
@@ -83,7 +96,9 @@ class EdgeServer:
             self._send_result(meta, ok=False)
             return
         self.tasks_received += 1
-        if self.max_concurrent is not None and self.running >= self.max_concurrent:
+        if self.paused or (
+            self.max_concurrent is not None and self.running >= self.max_concurrent
+        ):
             self.queued.append(meta)
             return
         self._start_execution(meta)
@@ -94,12 +109,17 @@ class EdgeServer:
         self.running += 1
         exec_time = float(meta["exec_time"])
         self.busy_time += exec_time
-        self.host.sim.schedule(exec_time, self._finish_execution, meta)
+        self._exec_handles[int(meta["task_id"])] = self.host.sim.schedule(
+            exec_time, self._finish_execution, meta
+        )
 
     def _finish_execution(self, meta: dict) -> None:
+        self._exec_handles.pop(int(meta["task_id"]), None)
         self.running -= 1
         self.tasks_completed += 1
         self._send_result(meta, ok=True)
+        if self.paused:
+            return
         if self.queued and (self.max_concurrent is None or self.running < self.max_concurrent):
             self._start_execution(self.queued.popleft())
 
@@ -137,6 +157,48 @@ class EdgeServer:
         msg = packet.message
         if isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "result_ack":
             self._unacked_results.pop(int(msg[1]), None)
+
+    # -- fault injection (crash / pause / recover) -----------------------------
+
+    def crash(self) -> int:
+        """Hard failure: every in-flight execution, queued task, and pending
+        result retransmission is lost, and arriving task data is silently
+        dropped until :meth:`recover`.  Returns the number of tasks dropped
+        (in-flight + queued) so the injector can report the blast radius."""
+        dropped = 0
+        for handle in self._exec_handles.values():
+            if not handle.fired:
+                self.host.sim.cancel(handle)
+            dropped += 1
+        self._exec_handles.clear()
+        dropped += len(self.queued)
+        self.queued.clear()
+        self._unacked_results.clear()
+        self.running = 0
+        self.alive = False
+        self.paused = False
+        self.crashes += 1
+        self.tasks_dropped += dropped
+        if self._load_timer is not None and self._load_timer.running:
+            self._load_timer.stop()
+        return dropped
+
+    def pause(self) -> None:
+        """Soft failure: keep accepting task data (queueing it) but start no
+        new executions until :meth:`recover`.  In-flight work finishes."""
+        self.paused = True
+
+    def recover(self) -> None:
+        """Return to service and drain whatever queued while paused.  After
+        a crash there is nothing to drain — the queue died with the node."""
+        self.alive = True
+        self.paused = False
+        if self._load_timer is not None and not self._load_timer.running:
+            self._load_timer.start()
+        while self.queued and (
+            self.max_concurrent is None or self.running < self.max_concurrent
+        ):
+            self._start_execution(self.queued.popleft())
 
     # -- load reporting (compute-aware extension) ------------------------------
 

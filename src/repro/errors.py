@@ -59,3 +59,8 @@ class WorkloadError(ReproError):
 class ExperimentError(ReproError):
     """Experiment harness misconfiguration or an experiment invariant that
     failed (e.g. mismatched task counts between compared policies)."""
+
+
+class FaultError(ReproError):
+    """Invalid fault plan or fault-injection misuse (unknown fault kind,
+    unresolvable target, loss events without a random stream)."""

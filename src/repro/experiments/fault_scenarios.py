@@ -1,0 +1,167 @@
+"""Fault-scenario experiments: how schedulers behave when the network lies.
+
+The paper's evaluation assumes telemetry keeps flowing and edge servers keep
+running.  This harness measures what happens when they don't: a
+:class:`~repro.faults.plan.FaultPlan` (built-in scenario or JSON file) runs
+against the Fig. 4 topology, once per policy, with graceful degradation on
+and — as the ablation — off.  Runs share seeds, so rows are paired the same
+way the Fig. 5 comparisons are.
+
+The headline table answers two questions per policy:
+
+* **survival** — what fraction of tasks still completes under the fault;
+* **degradation value** — how many of those completions the retry/failover +
+  quarantine machinery is responsible for (the delta to the ablation row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.errors import ExperimentError, FaultError
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    QUICK_SCALE,
+    run_experiment,
+)
+from repro.faults import BUILTIN_SCENARIOS, FaultPlan, builtin_plan
+
+__all__ = [
+    "FaultScenarioRow",
+    "resolve_plan",
+    "run_fault_scenario",
+    "compare_degradation",
+    "render_fault_comparison",
+    "assert_survival",
+]
+
+
+def resolve_plan(spec: str) -> FaultPlan:
+    """A plan from a built-in scenario name, or from a JSON file when
+    ``spec`` doesn't name one (the CLI's ``--faults`` argument)."""
+    if spec in BUILTIN_SCENARIOS:
+        return builtin_plan(spec)
+    try:
+        return FaultPlan.load(spec)
+    except OSError as exc:
+        raise FaultError(
+            f"{spec!r} is neither a built-in scenario "
+            f"({', '.join(sorted(BUILTIN_SCENARIOS))}) nor a readable "
+            f"plan file: {exc}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class FaultScenarioRow:
+    """One (policy, degradation) cell of the comparison."""
+
+    policy: str
+    degradation: bool
+    tasks_completed: int
+    tasks_failed: int
+    tasks_retried: int
+    failovers: int
+    faults_fired: int
+    mean_completion: Optional[float]
+
+    @property
+    def total(self) -> int:
+        return self.tasks_completed + self.tasks_failed
+
+    @property
+    def completion_rate(self) -> float:
+        return self.tasks_completed / self.total if self.total else 0.0
+
+
+def run_fault_scenario(
+    plan: FaultPlan,
+    *,
+    policy: str = POLICY_AWARE,
+    degradation: bool = True,
+    base_config: Optional[ExperimentConfig] = None,
+    obs=None,
+) -> ExperimentResult:
+    """One policy × degradation run under ``plan``."""
+    base = base_config if base_config is not None else ExperimentConfig(scale=QUICK_SCALE)
+    config = replace(
+        base, policy=policy, fault_plan=plan, degradation=degradation
+    )
+    return run_experiment(config, obs=obs)
+
+
+def _row(result: ExperimentResult) -> FaultScenarioRow:
+    completed = result.metrics.completed()
+    mean = (
+        result.metrics.mean_completion_time() if completed else None
+    )
+    return FaultScenarioRow(
+        policy=result.config.policy,
+        degradation=result.config.degradation,
+        tasks_completed=result.tasks_completed,
+        tasks_failed=result.tasks_failed,
+        tasks_retried=result.tasks_retried,
+        failovers=result.failovers,
+        faults_fired=result.faults_fired,
+        mean_completion=mean,
+    )
+
+
+def compare_degradation(
+    plan: FaultPlan,
+    *,
+    policies: Sequence[str] = (POLICY_AWARE, POLICY_NEAREST),
+    base_config: Optional[ExperimentConfig] = None,
+    obs_factory=None,
+) -> List[FaultScenarioRow]:
+    """The scenario's full grid: every policy, degradation on and off,
+    identical seed/workload/congestion across all cells."""
+    rows: List[FaultScenarioRow] = []
+    for policy in policies:
+        for degradation in (True, False):
+            obs = obs_factory(policy, degradation) if obs_factory else None
+            result = run_fault_scenario(
+                plan,
+                policy=policy,
+                degradation=degradation,
+                base_config=base_config,
+                obs=obs,
+            )
+            rows.append(_row(result))
+    return rows
+
+
+def render_fault_comparison(plan: FaultPlan, rows: Sequence[FaultScenarioRow]) -> str:
+    """Plain-text table in the house style of ``experiments.report``."""
+    header = (
+        "policy  | degr. | completed | failed | retries | failovers | mean (s)"
+    )
+    sep = "--------+-------+-----------+--------+---------+-----------+---------"
+    lines = [f"scenario: {plan.name} — {plan.description}", header, sep]
+    for row in rows:
+        mean = f"{row.mean_completion:.2f}" if row.mean_completion is not None else "-"
+        lines.append(
+            f"{row.policy:<7} | {'on' if row.degradation else 'off':<5} | "
+            f"{row.tasks_completed:>4}/{row.total:<4} | {row.tasks_failed:>6} | "
+            f"{row.tasks_retried:>7} | {row.failovers:>9} | {mean:>7}"
+        )
+    return "\n".join(lines)
+
+
+def assert_survival(
+    rows: Sequence[FaultScenarioRow], *, policy: str, min_rate: float
+) -> None:
+    """CI guard: the degraded run of ``policy`` must complete at least
+    ``min_rate`` of its tasks, or the scenario run is considered broken."""
+    for row in rows:
+        if row.policy == policy and row.degradation:
+            if row.completion_rate < min_rate:
+                raise ExperimentError(
+                    f"{policy} completed only {row.completion_rate:.0%} of "
+                    f"tasks under faults (required {min_rate:.0%})"
+                )
+            return
+    raise ExperimentError(f"no degraded {policy!r} row in the comparison")

@@ -34,6 +34,7 @@ from repro.edge.task import SizeClass
 from repro.edge.workload import WorkloadGenerator, WorkloadSpec, build_plan
 from repro.errors import ExperimentError
 from repro.experiments.fig4_topology import Fig4Topology, build_fig4_network
+from repro.faults import FaultInjector, FaultPlan
 from repro.simnet.engine import PeriodicTimer, Simulator
 from repro.simnet.flows import UdpSink
 from repro.simnet.packet import MTU
@@ -108,6 +109,17 @@ class ExperimentConfig:
     # Device-side selection: "top_k" (paper mode 1) or "min_completion"
     # (paper mode 2: raw delay+bandwidth ranking + custom device policy).
     selection: str = "top_k"
+    # Fault injection (repro.faults).  None keeps the run byte-identical to
+    # the pre-fault harness.  With a plan, every device gets a hard task
+    # deadline (so lost tasks resolve before the horizon) and, when
+    # ``degradation`` is on, retry-with-failover plus scheduler quarantine
+    # of stale-telemetry nodes.  ``degradation=False`` is the ablation: the
+    # faults fire but nothing fights back.
+    fault_plan: Optional[FaultPlan] = None
+    degradation: bool = True
+    task_retry_timeout: float = 4.0
+    task_max_attempts: int = 4
+    quarantine_ttl: float = 3.0
 
     def __post_init__(self) -> None:
         if self.policy not in _POLICIES:
@@ -126,6 +138,12 @@ class ExperimentConfig:
             raise ExperimentError(f"unknown probe layout {self.probe_layout!r}")
         if self.probing_interval <= 0:
             raise ExperimentError("probing_interval must be positive")
+        if self.task_retry_timeout <= 0:
+            raise ExperimentError("task_retry_timeout must be positive")
+        if self.task_max_attempts < 1:
+            raise ExperimentError("task_max_attempts must be >= 1")
+        if self.quarantine_ttl <= 0:
+            raise ExperimentError("quarantine_ttl must be positive")
 
 
 @dataclass
@@ -140,6 +158,9 @@ class ExperimentResult:
     probe_reports: int
     tasks_completed: int
     tasks_failed: int
+    faults_fired: int = 0
+    tasks_retried: int = 0
+    failovers: int = 0
     records_in_order: List[TaskRecord] = field(default_factory=list)
     # The run's observability hub (repro.obs.Observability) when one was
     # attached; None for plain (zero-overhead) runs.
@@ -161,6 +182,14 @@ def _build_scheduler(
     host = topo.network.host(topo.scheduler_name)
     kwargs = dict(processing_delay=config.scheduler_processing_delay)
     if config.policy == POLICY_AWARE:
+        # Quarantine only arms for degraded fault runs: it changes ranking
+        # behavior around stale telemetry, and fault-free runs must stay
+        # byte-identical to the paper's scheduler.
+        quarantine_ttl = (
+            config.quarantine_ttl
+            if config.fault_plan is not None and config.degradation
+            else None
+        )
         return NetworkAwareScheduler(
             host,
             server_addrs,
@@ -168,6 +197,7 @@ def _build_scheduler(
             k=config.k,
             default_link_delay=topo.link_delay,
             curve=config.curve,
+            quarantine_ttl=quarantine_ttl,
             **kwargs,
         )
     if config.policy == POLICY_NEAREST:
@@ -274,8 +304,9 @@ def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
     # Edge servers + iperf sinks everywhere.
     for name in topo.node_names:
         UdpSink(net.host(name))
-    for name in worker_names:
-        EdgeServer(net.host(name))
+    servers: Dict[str, EdgeServer] = {
+        name: EdgeServer(net.host(name)) for name in worker_names
+    }
 
     scheduler = _build_scheduler(config, topo, streams, server_addrs)
     if isinstance(scheduler, NetworkAwareScheduler):
@@ -296,26 +327,46 @@ def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
     )
     plan = build_plan(spec, worker_names, streams.get("workload"), start_time=1.0)
 
+    slack = config.deadline_slack
+    if slack is None:
+        slack = 30.0 + 500.0 * config.scale.size_scale
+    horizon = plan.horizon + slack
+
     metrics = MetricsCollector()
     if config.selection == "min_completion":
         from repro.edge.policies import min_completion_time as selection_policy
     else:
         from repro.edge.policies import top_k as selection_policy
+    device_kwargs: Dict[str, object] = {}
+    if config.fault_plan is not None:
+        # Lost tasks must resolve before the horizon even with degradation
+        # off — the hard deadline is the slack budget itself.
+        device_kwargs["task_timeout"] = slack
+        if config.degradation:
+            device_kwargs["retry_timeout"] = config.task_retry_timeout
+            device_kwargs["max_attempts"] = config.task_max_attempts
     devices: Dict[str, EdgeDevice] = {
         name: EdgeDevice(
             net.host(name), topo.scheduler_addr, metrics,
             metric=config.metric, selection_policy=selection_policy,
+            **device_kwargs,
         )
         for name in worker_names
     }
     generator = WorkloadGenerator(sim, devices, plan)
     generator.start()
 
+    # Fault injection: armed before the run so t=0 events are schedulable.
+    injector: Optional[FaultInjector] = None
+    if config.fault_plan is not None:
+        injector = FaultInjector(
+            sim, net, config.fault_plan,
+            servers=servers,
+            rng=streams.get("faults"),
+        )
+        injector.arm()
+
     # Background congestion (policy-independent given the seed).
-    slack = config.deadline_slack
-    if slack is None:
-        slack = 30.0 + 500.0 * config.scale.size_scale
-    horizon = plan.horizon + slack
     background = BackgroundTraffic(
         sim,
         {n: net.host(n) for n in topo.node_names},
@@ -362,6 +413,9 @@ def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
         probe_reports=collector.reports_ingested,
         tasks_completed=len(metrics.completed()),
         tasks_failed=len(metrics.failed()),
+        faults_fired=len(injector.fired) if injector is not None else 0,
+        tasks_retried=sum(d.tasks_retried for d in devices.values()),
+        failovers=sum(d.failovers for d in devices.values()),
         records_in_order=metrics.records,
         obs=obs if obs else None,
     )

@@ -1,0 +1,50 @@
+"""repro.faults — deterministic fault injection.
+
+Declarative :class:`FaultPlan` timelines (link outages and flaps, rate and
+latency degradation, probabilistic packet/probe loss, switch register wipes,
+edge-server crash/pause/recover) executed against a running simulation by a
+:class:`FaultInjector`.  Built-in scenarios for the Fig. 4 topology live in
+:mod:`repro.faults.scenarios`; graceful-degradation behaviour under these
+faults lives with the consumers (telemetry store staleness/quarantine,
+device retry/failover, server crash semantics).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_KINDS,
+    LINK_DEGRADE,
+    LINK_DOWN,
+    LINK_FLAP,
+    LINK_RESTORE,
+    LINK_UP,
+    PACKET_LOSS,
+    PROBE_LOSS,
+    REGISTER_WIPE,
+    SERVER_CRASH,
+    SERVER_PAUSE,
+    SERVER_RECOVER,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.faults.scenarios import BUILTIN_SCENARIOS, builtin_plan, scenario_names
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "BUILTIN_SCENARIOS",
+    "builtin_plan",
+    "scenario_names",
+    "FAULT_KINDS",
+    "LINK_DOWN",
+    "LINK_UP",
+    "LINK_FLAP",
+    "LINK_DEGRADE",
+    "LINK_RESTORE",
+    "PACKET_LOSS",
+    "PROBE_LOSS",
+    "REGISTER_WIPE",
+    "SERVER_CRASH",
+    "SERVER_PAUSE",
+    "SERVER_RECOVER",
+]

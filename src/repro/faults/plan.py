@@ -1,0 +1,207 @@
+"""Fault plans: declarative, sim-time-scheduled failure timelines.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent` records, each
+naming a kind (link down/up, degradation, probabilistic loss, switch register
+wipe, edge-server crash/pause/recover), a sim time, and a target — a link
+name (``"s01<->s02"``), a switch or node name, or ``"*"`` for every matching
+element.  Plans are plain data: they can be round-tripped through JSON
+(``--faults plan.json`` on the CLI) and are executed by
+:class:`~repro.faults.injector.FaultInjector`.
+
+The ``link_flap`` kind is declarative sugar: :meth:`FaultPlan.expanded`
+unrolls one flap event into ``count`` down/up cycles of ``period`` seconds
+(half down, half up), so injector and determinism logic only ever see the
+primitive kinds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List
+
+from repro.errors import FaultError
+
+__all__ = [
+    "FaultEvent",
+    "FaultPlan",
+    "LINK_DOWN",
+    "LINK_UP",
+    "LINK_FLAP",
+    "LINK_DEGRADE",
+    "LINK_RESTORE",
+    "PACKET_LOSS",
+    "PROBE_LOSS",
+    "REGISTER_WIPE",
+    "SERVER_CRASH",
+    "SERVER_PAUSE",
+    "SERVER_RECOVER",
+    "FAULT_KINDS",
+]
+
+LINK_DOWN = "link_down"          # carrier lost: every frame on the wire is dropped
+LINK_UP = "link_up"              # carrier restored
+LINK_FLAP = "link_flap"          # sugar: count x (down period/2, up period/2)
+LINK_DEGRADE = "link_degrade"    # rate_factor x capacity, +extra_delay propagation
+LINK_RESTORE = "link_restore"    # clear degradation and loss rates (not up/down)
+PACKET_LOSS = "packet_loss"      # drop each frame with probability `rate`
+PROBE_LOSS = "probe_loss"        # drop each *probe* frame with probability `rate`
+REGISTER_WIPE = "register_wipe"  # reset a switch's INT registers ("reboot")
+SERVER_CRASH = "server_crash"    # edge server dies; in-flight tasks are lost
+SERVER_PAUSE = "server_pause"    # edge server stops starting tasks (queues them)
+SERVER_RECOVER = "server_recover"  # crashed/paused server resumes service
+
+_LINK_KINDS = frozenset({LINK_DOWN, LINK_UP, LINK_FLAP, LINK_DEGRADE, LINK_RESTORE,
+                         PACKET_LOSS, PROBE_LOSS})
+_SWITCH_KINDS = frozenset({REGISTER_WIPE})
+_SERVER_KINDS = frozenset({SERVER_CRASH, SERVER_PAUSE, SERVER_RECOVER})
+FAULT_KINDS = _LINK_KINDS | _SWITCH_KINDS | _SERVER_KINDS
+
+# Aliases accepted for the target key when parsing event dicts, so plan files
+# can say {"kind": "link_down", "link": "s01<->s02"} instead of "target".
+_TARGET_ALIASES = ("target", "link", "switch", "node", "server")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault or recovery action."""
+
+    time: float
+    kind: str
+    target: str = "*"
+    rate: float = 0.0          # packet_loss / probe_loss drop probability
+    rate_factor: float = 1.0   # link_degrade capacity multiplier, in (0, 1]
+    extra_delay: float = 0.0   # link_degrade added propagation delay (s)
+    period: float = 1.0        # link_flap cycle length (s)
+    count: int = 1             # link_flap cycle count
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(
+                f"unknown fault kind {self.kind!r}; known: {sorted(FAULT_KINDS)}"
+            )
+        if self.time < 0:
+            raise FaultError(f"fault time must be >= 0, got {self.time}")
+        if not self.target:
+            raise FaultError("fault target must be a name or '*'")
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultError(f"loss rate must be in [0, 1], got {self.rate}")
+        if not 0.0 < self.rate_factor <= 1.0:
+            raise FaultError(
+                f"rate_factor must be in (0, 1], got {self.rate_factor}"
+            )
+        if self.extra_delay < 0:
+            raise FaultError(f"extra_delay must be >= 0, got {self.extra_delay}")
+        if self.kind == LINK_FLAP:
+            if self.period <= 0:
+                raise FaultError(f"flap period must be positive, got {self.period}")
+            if self.count < 1:
+                raise FaultError(f"flap count must be >= 1, got {self.count}")
+
+    @property
+    def is_recovery(self) -> bool:
+        """True for events that restore service rather than break it."""
+        return self.kind in (LINK_UP, LINK_RESTORE, SERVER_RECOVER)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultEvent":
+        fields_in = dict(data)
+        target = "*"
+        for alias in _TARGET_ALIASES:
+            if alias in fields_in:
+                target = fields_in.pop(alias)
+        known = {"time", "kind", "rate", "rate_factor", "extra_delay", "period", "count"}
+        unknown = set(fields_in) - known
+        if unknown:
+            raise FaultError(f"unknown fault event keys: {sorted(unknown)}")
+        if "time" not in fields_in or "kind" not in fields_in:
+            raise FaultError("fault events need at least 'time' and 'kind'")
+        return cls(target=str(target), **fields_in)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered timeline of fault events."""
+
+    events: tuple
+    name: str = "custom"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for ev in self.events:
+            if not isinstance(ev, FaultEvent):
+                raise FaultError(f"plan events must be FaultEvent, got {type(ev).__name__}")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def expanded(self) -> List[FaultEvent]:
+        """Primitive events in time order: flap sugar unrolled into down/up
+        cycles, ties kept in plan order (stable sort)."""
+        out: List[FaultEvent] = []
+        for ev in self.events:
+            if ev.kind != LINK_FLAP:
+                out.append(ev)
+                continue
+            half = ev.period / 2.0
+            for i in range(ev.count):
+                start = ev.time + i * ev.period
+                out.append(FaultEvent(time=start, kind=LINK_DOWN, target=ev.target))
+                out.append(FaultEvent(time=start + half, kind=LINK_UP, target=ev.target))
+        out.sort(key=lambda e: e.time)
+        return out
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last primitive event (0.0 for an empty plan)."""
+        expanded = self.expanded()
+        return expanded[-1].time if expanded else 0.0
+
+    def needs_rng(self) -> bool:
+        """True when any event draws randomness at packet time (loss rates)."""
+        return any(
+            ev.kind in (PACKET_LOSS, PROBE_LOSS) and ev.rate > 0.0
+            for ev in self.events
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict) or "events" not in data:
+            raise FaultError("a fault plan is an object with an 'events' list")
+        events = data["events"]
+        if not isinstance(events, list):
+            raise FaultError("'events' must be a list")
+        return cls(
+            events=tuple(FaultEvent.from_dict(e) for e in events),
+            name=str(data.get("name", "custom")),
+            description=str(data.get("description", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

@@ -1,0 +1,125 @@
+"""Built-in fault scenarios for the Fig. 4 topology.
+
+Each scenario is a ready-made :class:`~repro.faults.plan.FaultPlan` sized for
+the experiment harness timeline (first job at t = 1 s): faults strike while
+tasks are in flight, so the comparison experiments actually exercise the
+degradation machinery.  Link and node names follow the Fig. 4 builder
+(``node1`` .. ``node8``, cores ``s01`` .. ``s04``, leaves ``s05`` .. ``s12``,
+links ``"<a><-><b>"``).
+
+``builtin_plan(name)`` is the lookup used by the CLI (``--faults link-flap``)
+and the fault-scenario harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import FaultError
+from repro.faults.plan import (
+    LINK_DEGRADE,
+    LINK_FLAP,
+    LINK_RESTORE,
+    PROBE_LOSS,
+    REGISTER_WIPE,
+    SERVER_CRASH,
+    SERVER_RECOVER,
+    FaultEvent,
+    FaultPlan,
+)
+
+__all__ = ["BUILTIN_SCENARIOS", "builtin_plan", "scenario_names"]
+
+
+def _link_flap() -> FaultPlan:
+    """The core ring link s01<->s02 flaps four times (0.5 s down / 0.5 s up)
+    starting at t = 2 s: cross-pod traffic sees repeated carrier loss and the
+    transports must ride it out."""
+    return FaultPlan(
+        name="link-flap",
+        description="core link s01<->s02 flaps 4x (1 s period) from t=2s",
+        events=(
+            FaultEvent(time=2.0, kind=LINK_FLAP, target="s01<->s02",
+                       period=1.0, count=4),
+        ),
+    )
+
+
+def _probe_blackout() -> FaultPlan:
+    """Every probe on every link is dropped between t = 2 s and t = 8 s —
+    data traffic is untouched but the scheduler goes completely blind, so
+    telemetry ages past the TTL and the degraded ranking paths take over."""
+    return FaultPlan(
+        name="probe-blackout",
+        description="100% probe loss on every link from t=2s to t=8s",
+        events=(
+            FaultEvent(time=2.0, kind=PROBE_LOSS, target="*", rate=1.0),
+            FaultEvent(time=8.0, kind=LINK_RESTORE, target="*"),
+        ),
+    )
+
+
+def _server_crash() -> FaultPlan:
+    """node7's edge server crashes at t = 2.5 s, dropping its in-flight tasks,
+    and recovers at t = 40 s.  Devices must time out and fail over to the
+    next-ranked server for ~every task scheduled onto node7."""
+    return FaultPlan(
+        name="server-crash",
+        description="edge server on node7 crashes at t=2.5s, recovers at t=40s",
+        events=(
+            FaultEvent(time=2.5, kind=SERVER_CRASH, target="node7"),
+            FaultEvent(time=40.0, kind=SERVER_RECOVER, target="node7"),
+        ),
+    )
+
+
+def _register_wipe() -> FaultPlan:
+    """All INT registers on every switch are wiped at t = 2 s and t = 4 s —
+    the 'switch reboot' case: the collector sees zeroed readings, never
+    garbage, and telemetry refills within one probing interval."""
+    return FaultPlan(
+        name="register-wipe",
+        description="INT registers on every switch wiped at t=2s and t=4s",
+        events=(
+            FaultEvent(time=2.0, kind=REGISTER_WIPE, target="*"),
+            FaultEvent(time=4.0, kind=REGISTER_WIPE, target="*"),
+        ),
+    )
+
+
+def _link_degrade() -> FaultPlan:
+    """The s02<->s03 core link loses 3/4 of its capacity and gains 20 ms of
+    latency between t = 2 s and t = 10 s: a brownout rather than an outage."""
+    return FaultPlan(
+        name="link-degrade",
+        description="s02<->s03 at 25% rate +20ms latency from t=2s to t=10s",
+        events=(
+            FaultEvent(time=2.0, kind=LINK_DEGRADE, target="s02<->s03",
+                       rate_factor=0.25, extra_delay=0.020),
+            FaultEvent(time=10.0, kind=LINK_RESTORE, target="s02<->s03"),
+        ),
+    )
+
+
+BUILTIN_SCENARIOS: Dict[str, Callable[[], FaultPlan]] = {
+    "link-flap": _link_flap,
+    "probe-blackout": _probe_blackout,
+    "server-crash": _server_crash,
+    "register-wipe": _register_wipe,
+    "link-degrade": _link_degrade,
+}
+
+
+def scenario_names() -> List[str]:
+    return sorted(BUILTIN_SCENARIOS)
+
+
+def builtin_plan(name: str) -> FaultPlan:
+    """Instantiate a built-in scenario by name."""
+    try:
+        factory = BUILTIN_SCENARIOS[name]
+    except KeyError:
+        raise FaultError(
+            f"unknown fault scenario {name!r}; built-ins: {scenario_names()}"
+        ) from None
+    return factory()

@@ -175,6 +175,21 @@ class Observability:
         self.metrics.counter("probe_reports_malformed_total").inc()
         self.events.warning(reason, **fields)
 
+    def fault_injected(self, *, fault: str, target: str, **fields: Any) -> None:
+        self.metrics.counter("faults_injected_total", fault=fault).inc()
+        self.events.fault_injected(fault=fault, target=target, **fields)
+
+    def fault_recovered(self, *, fault: str, target: str, **fields: Any) -> None:
+        self.metrics.counter("faults_recovered_total", fault=fault).inc()
+        self.events.fault_recovered(fault=fault, target=target, **fields)
+
+    def node_quarantined(self, *, node: str, age: float, **fields: Any) -> None:
+        self.metrics.counter("nodes_quarantined_total").inc()
+        self.events.node_quarantined(node=node, age=age, **fields)
+
+    def node_unquarantined(self, *, node: str, **fields: Any) -> None:
+        self.events.node_unquarantined(node=node, **fields)
+
     # -- export ------------------------------------------------------------
 
     def snapshot_records(self) -> List[Dict[str, Any]]:

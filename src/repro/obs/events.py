@@ -30,6 +30,10 @@ EVENT_KINDS = {
     "queue_threshold":  ("queue", "depth", "threshold", "direction"),
     "task_transition":  ("task_id", "state", "device", "server_addr"),
     "warning":          ("reason",),
+    "fault_injected":   ("fault", "target"),
+    "fault_recovered":  ("fault", "target"),
+    "node_quarantined": ("node", "age"),
+    "node_unquarantined": ("node",),
 }
 
 DEFAULT_MAX_EVENTS = 200_000
@@ -110,6 +114,18 @@ class EventLog:
 
     def warning(self, reason: str, **extra: Any) -> None:
         self.emit("warning", reason=reason, **extra)
+
+    def fault_injected(self, *, fault: str, target: str, **extra: Any) -> None:
+        self.emit("fault_injected", fault=fault, target=target, **extra)
+
+    def fault_recovered(self, *, fault: str, target: str, **extra: Any) -> None:
+        self.emit("fault_recovered", fault=fault, target=target, **extra)
+
+    def node_quarantined(self, *, node: str, age: float, **extra: Any) -> None:
+        self.emit("node_quarantined", node=node, age=age, **extra)
+
+    def node_unquarantined(self, *, node: str, **extra: Any) -> None:
+        self.emit("node_unquarantined", node=node, **extra)
 
     # -- queries -----------------------------------------------------------
 

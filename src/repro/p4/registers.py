@@ -29,6 +29,7 @@ class RegisterArray:
         self._values: List[int] = [initial] * size
         self.reads = 0
         self.writes = 0
+        self.resets = 0
 
     def _check(self, index: int) -> None:
         if not 0 <= index < self.size:
@@ -67,6 +68,13 @@ class RegisterArray:
         value = self._values[index]
         self._values[index] = self.initial
         return value
+
+    def reset(self) -> None:
+        """Restore every register to its initial value — the whole-array
+        wipe a target performs on reboot (used by fault injection's
+        ``register_wipe``).  Counted separately from per-index writes."""
+        self._values = [self.initial] * self.size
+        self.resets += 1
 
     def snapshot(self) -> List[int]:
         """Copy of all register values (test/inspection helper, not a data

@@ -75,6 +75,10 @@ class Simulator:
         # Instrumented components read this at call time and guard with one
         # truthy check, so a run without observability pays nothing else.
         self.obs: Optional[Any] = None
+        # Fault injector (repro.faults.FaultInjector) or None.  Set by
+        # FaultInjector.arm() — the same registered-on-the-engine convention
+        # as `obs`, so any component can discover the active fault plan.
+        self.faults: Optional[Any] = None
 
     # -- clock ------------------------------------------------------------
 

@@ -19,7 +19,7 @@ propagation delay.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import TopologyError
 
@@ -67,6 +67,20 @@ class Link:
         # Observability: {"a": Counter, "b": Counter} installed by
         # Observability.attach_network; None (one check per packet) otherwise.
         self.obs_counters: Optional[dict] = None
+        # -- fault-injection state (repro.faults) --------------------------
+        # `impaired` is the single hot-path flag the Port checks per packet:
+        # it is True iff the link is down or a loss rate is active.  Rate
+        # degradation and extra delay apply unconditionally because identity
+        # arithmetic (x * 1.0, x + 0.0) is exact, keeping the fault-free
+        # path byte-identical.
+        self.up = True
+        self.loss_rate = 0.0        # drop probability for every frame
+        self.probe_loss_rate = 0.0  # additional drop probability for probes
+        self.rate_factor = 1.0      # capacity multiplier, in (0, 1]
+        self.extra_delay = 0.0      # added propagation delay (s)
+        self.impaired = False
+        self.packets_lost = 0       # frames lost on the wire (faults only)
+        self._loss_rng: Optional[Any] = None
 
     def attach(self, port_a: "Port", port_b: "Port") -> None:
         if self.port_a is not None or self.port_b is not None:
@@ -91,6 +105,78 @@ class Link:
             assert self.port_a is not None
             return self.port_a
         raise TopologyError(f"port {port!r} is not attached to link {self.name!r}")
+
+    # -- fault injection ---------------------------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Carrier state.  While down, every frame completing transmission
+        is lost on the wire (the serializer still runs, like a NIC driving a
+        dead cable)."""
+        self.up = bool(up)
+        self._update_impaired()
+
+    def set_loss(
+        self,
+        rate: Optional[float] = None,
+        probe_rate: Optional[float] = None,
+        rng: Optional[Any] = None,
+    ) -> None:
+        """Probabilistic wire loss: ``rate`` applies to every frame,
+        ``probe_rate`` additionally to probe-flagged frames.  Draws come
+        from ``rng`` (a numpy Generator) so loss replays deterministically;
+        an rng is required whenever either rate is positive."""
+        if rate is not None:
+            if not 0.0 <= rate <= 1.0:
+                raise TopologyError(f"link {self.name!r}: loss rate must be in [0, 1]")
+            self.loss_rate = rate
+        if probe_rate is not None:
+            if not 0.0 <= probe_rate <= 1.0:
+                raise TopologyError(
+                    f"link {self.name!r}: probe loss rate must be in [0, 1]"
+                )
+            self.probe_loss_rate = probe_rate
+        if rng is not None:
+            self._loss_rng = rng
+        if (self.loss_rate > 0.0 or self.probe_loss_rate > 0.0) and self._loss_rng is None:
+            raise TopologyError(
+                f"link {self.name!r}: probabilistic loss requires an rng"
+            )
+        self._update_impaired()
+
+    def set_degradation(self, *, rate_factor: float = 1.0, extra_delay: float = 0.0) -> None:
+        """Brownout: multiply serialization rate by ``rate_factor`` and add
+        ``extra_delay`` seconds of propagation delay."""
+        if not 0.0 < rate_factor <= 1.0:
+            raise TopologyError(
+                f"link {self.name!r}: rate_factor must be in (0, 1], got {rate_factor}"
+            )
+        if extra_delay < 0:
+            raise TopologyError(
+                f"link {self.name!r}: extra_delay must be >= 0, got {extra_delay}"
+            )
+        self.rate_factor = rate_factor
+        self.extra_delay = extra_delay
+
+    def _update_impaired(self) -> None:
+        self.impaired = (
+            not self.up or self.loss_rate > 0.0 or self.probe_loss_rate > 0.0
+        )
+
+    def should_drop(self, packet) -> bool:
+        """Fault check at transmission completion: True when this frame is
+        lost on the wire.  Only called when :attr:`impaired` is set."""
+        if not self.up:
+            return True
+        rng = self._loss_rng
+        if self.loss_rate > 0.0 and float(rng.random()) < self.loss_rate:
+            return True
+        if (
+            self.probe_loss_rate > 0.0
+            and packet.is_probe
+            and float(rng.random()) < self.probe_loss_rate
+        ):
+            return True
+        return False
 
     def record_carried(self, port: "Port", nbytes: int) -> None:
         key = "a" if port is self.port_a else "b"

@@ -85,7 +85,11 @@ class Port:
         # P4 egress stage: runs as the packet leaves the queue and begins
         # serialization.  May mutate the packet (probe payload growth).
         self.node.on_egress(packet, self, enq_depth)
-        tx_time = (packet.size_bytes * 8.0) / self.link.rate_from(self)
+        # rate_factor is 1.0 unless a fault degraded the link; x * 1.0 is
+        # exact, so the fault-free path is byte-identical.
+        tx_time = (packet.size_bytes * 8.0) / (
+            self.link.rate_from(self) * self.link.rate_factor
+        )
         # Software switches (BMv2) forward with noticeable per-packet service
         # variance; the node's jitter factor reproduces it.  Mean unchanged.
         tx_time *= self.node.service_time_factor()
@@ -94,10 +98,30 @@ class Port:
 
     def _tx_complete(self, packet: Packet) -> None:
         self.packets_sent += 1
-        self.link.record_carried(self, packet.size_bytes)
-        sim = self.node.sim
-        peer = self.peer
-        sim.schedule(self.link.propagation_delay, peer.node.on_ingress, packet, peer)
+        link = self.link
+        if link.impaired and link.should_drop(packet):
+            # Lost on the wire (link down or probabilistic fault loss): the
+            # frame consumed serializer time but is never delivered.
+            link.packets_lost += 1
+            obs = self.node.sim.obs
+            if obs:
+                obs.packet_dropped(
+                    queue=f"wire:{link.name}",
+                    flow_id=packet.flow_id,
+                    seq=packet.seq,
+                    size_bytes=packet.size_bytes,
+                    is_probe=packet.is_probe,
+                )
+        else:
+            link.record_carried(self, packet.size_bytes)
+            sim = self.node.sim
+            peer = self.peer
+            # extra_delay is 0.0 unless a fault degraded the link (x + 0.0
+            # is exact).
+            sim.schedule(
+                link.propagation_delay + link.extra_delay,
+                peer.node.on_ingress, packet, peer,
+            )
         # Serializer is free again: pull the next queued packet, if any.
         self._start_next()
 

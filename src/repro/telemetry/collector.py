@@ -101,7 +101,18 @@ class IntCollector:
             return
         last, stride = prev
         delta = seq - last
-        if delta <= 0:  # reordered duplicate/straggler: keep the newest front
+        if delta == 0:  # duplicate delivery: keep the current front
+            return
+        if delta < 0:
+            # A slightly-late arrival (within a few strides of the front) is
+            # ordinary reordering: keep the newest front.  Anything further
+            # back means the sender restarted or its counter wrapped — reset
+            # the stream state instead of waiting for seq to climb past the
+            # stale front and then booking the whole climb as "lost" probes.
+            tolerance = 3 * stride if stride is not None else 0
+            if -delta <= tolerance:
+                return
+            self._streams[key] = (seq, None)
             return
         if stride is None or delta < stride:
             stride = delta

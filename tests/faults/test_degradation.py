@@ -1,0 +1,171 @@
+"""Graceful-degradation building blocks, unit by unit: telemetry aging in
+the store, scheduler quarantine of stale nodes, server crash semantics,
+and the device retry knobs' validation."""
+
+import pytest
+
+from repro.core.scheduler import METRIC_DELAY, NetworkAwareScheduler
+from repro.edge.metrics import MetricsCollector
+from repro.edge.server import EdgeServer
+from repro.errors import SchedulingError, WorkloadError
+from repro.obs import Observability
+from repro.telemetry.probe import ProbeResponder, ProbeSender
+from repro.telemetry.records import host_node
+from repro.units import mbps
+
+
+def _probed_scheduler(net, *, ttl=None, staleness=30.0):
+    """A network-aware scheduler on h3 watching h1 and h2, fed by real
+    probes from both.  Returns (scheduler, sender_h1, sender_h2)."""
+    scheduler = NetworkAwareScheduler(
+        net.host("h3"),
+        [net.address_of("h1"), net.address_of("h2")],
+        link_capacity_bps=mbps(20),
+        quarantine_ttl=ttl,
+        staleness=staleness,
+    )
+    ProbeResponder(net.host("h3"), collector=scheduler.collector)
+    senders = []
+    for name in ("h1", "h2"):
+        sender = ProbeSender(
+            net.host(name), [net.address_of("h3")], interval=0.1
+        )
+        sender.start()
+        senders.append(sender)
+    return scheduler, senders[0], senders[1]
+
+
+class TestTelemetryAging:
+    def test_node_age_none_until_seen_then_tracks(self, sim, line3):
+        scheduler, _s1, _s2 = _probed_scheduler(line3)
+        store = scheduler.store
+        h1 = host_node(line3.address_of("h1"))
+        assert store.node_age(h1) is None
+        sim.run(until=0.55)
+        assert store.node_age(h1) == pytest.approx(0.0, abs=0.2)
+
+    def test_link_delay_allow_stale_returns_last_known(self, sim, line3):
+        scheduler, s1, s2 = _probed_scheduler(line3, staleness=2.0)
+        store = scheduler.store
+        sim.run(until=0.55)
+        u, v = scheduler.collector.last_report.path_nodes()[:2]
+        fresh = store.link_delay(u, v, default=-1.0)
+        assert fresh > 0.0
+        s1.stop()
+        s2.stop()
+        sim.run(until=5.0)
+        assert store.link_delay(u, v, default=-1.0) == -1.0
+        assert store.link_delay(u, v, default=-1.0, allow_stale=True) == fresh
+
+
+class TestSchedulerQuarantine:
+    def test_bad_knobs_rejected(self, sim, line3):
+        with pytest.raises(SchedulingError):
+            _probed_scheduler(line3, ttl=0.0)
+        with pytest.raises(SchedulingError):
+            NetworkAwareScheduler(
+                line3.host("h3"), [line3.address_of("h1")],
+                link_capacity_bps=mbps(20), stale_penalty=-1.0,
+            )
+
+    def test_stale_node_quarantined_and_ranked_last(self, sim, line3):
+        obs = Observability()
+        obs.bind_sim(sim)
+        scheduler, s1, _s2 = _probed_scheduler(line3, ttl=1.0)
+        requester = line3.address_of("h3")
+        addr_h1 = line3.address_of("h1")
+        sim.run(until=0.55)
+        assert scheduler.quarantined_nodes == set()
+        s1.stop()  # h2 keeps probing; h1's telemetry ages out
+        sim.run(until=3.0)
+        ranked = scheduler.rank(requester, METRIC_DELAY)
+        assert scheduler.quarantined_nodes == {host_node(addr_h1)}
+        assert [addr for addr, _v in ranked][-1] == addr_h1
+        events = obs.events.of_kind("node_quarantined")
+        assert len(events) == 1
+        assert events[0].fields["age"] > 1.0
+
+    def test_recovered_probing_unquarantines(self, sim, line3):
+        obs = Observability()
+        obs.bind_sim(sim)
+        scheduler, s1, _s2 = _probed_scheduler(line3, ttl=1.0)
+        requester = line3.address_of("h3")
+        sim.run(until=0.55)
+        s1.stop()
+        sim.run(until=3.0)
+        scheduler.rank(requester, METRIC_DELAY)
+        assert len(scheduler.quarantined_nodes) == 1
+        s1.start()
+        sim.run(until=3.5)
+        scheduler.rank(requester, METRIC_DELAY)
+        assert scheduler.quarantined_nodes == set()
+        assert len(obs.events.of_kind("node_unquarantined")) == 1
+
+    def test_quarantine_off_by_default(self, sim, line3):
+        scheduler, s1, _s2 = _probed_scheduler(line3)  # ttl=None
+        requester = line3.address_of("h3")
+        sim.run(until=0.55)
+        s1.stop()
+        sim.run(until=10.0)
+        ranked = scheduler.rank(requester, METRIC_DELAY)
+        assert len(ranked) == 2
+        assert scheduler.quarantined_nodes == set()
+
+
+def _meta(net, task_id, exec_time=1.0):
+    return {
+        "task_id": task_id,
+        "exec_time": exec_time,
+        "reply_addr": net.address_of("h1"),
+        "reply_port": 9,
+    }
+
+
+class TestServerCrash:
+    def test_crash_drops_in_flight_and_queued(self, sim, line3):
+        server = EdgeServer(line3.host("h2"), max_concurrent=1)
+        server._start_execution(_meta(line3, 1, exec_time=5.0))
+        server.queued.append(_meta(line3, 2))
+        assert server.crash() == 2
+        assert not server.alive
+        assert server.running == 0 and not server.queued
+        assert server.tasks_dropped == 2
+        sim.run()
+        assert server.tasks_completed == 0  # the in-flight timer was cancelled
+
+    def test_dead_server_silently_drops_arrivals(self, sim, line3):
+        server = EdgeServer(line3.host("h2"))
+        server.crash()
+        state = type("S", (), {"metadata": _meta(line3, 3)})()
+        server._on_task_data(state)
+        assert server.tasks_received == 0
+        assert server.tasks_dropped == 1
+        assert server.running == 0
+
+    def test_pause_defers_and_recover_drains(self, sim, line3):
+        server = EdgeServer(line3.host("h2"))
+        server._start_execution(_meta(line3, 1, exec_time=0.5))
+        server.pause()
+        state = type("S", (), {"metadata": _meta(line3, 2, exec_time=0.5)})()
+        server._on_task_data(state)
+        sim.run()
+        assert server.tasks_completed == 1  # in-flight finished, queue held
+        assert len(server.queued) == 1
+        server.recover()
+        sim.run()
+        assert server.tasks_completed == 2
+        assert not server.queued
+
+
+class TestDeviceRetryKnobs:
+    def test_validation(self, sim, line3):
+        from repro.edge.device import EdgeDevice
+
+        metrics = MetricsCollector()
+        host = line3.host("h1")
+        with pytest.raises(WorkloadError):
+            EdgeDevice(host, 99, metrics, retry_timeout=0.0)
+        with pytest.raises(WorkloadError):
+            EdgeDevice(host, 99, metrics, retry_timeout=1.0, max_attempts=0)
+        with pytest.raises(WorkloadError):
+            EdgeDevice(host, 99, metrics, retry_timeout=1.0, retry_backoff=0.5)

@@ -1,0 +1,160 @@
+"""FaultInjector: scheduling, target resolution, mutation, obs mirroring."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    LINK_DEGRADE,
+    LINK_DOWN,
+    LINK_RESTORE,
+    LINK_UP,
+    PROBE_LOSS,
+    REGISTER_WIPE,
+    SERVER_CRASH,
+    SERVER_RECOVER,
+)
+from repro.obs import Observability
+
+
+def _plan(*events):
+    return FaultPlan(events=tuple(events), name="test")
+
+
+class TestArming:
+    def test_arm_registers_on_engine_and_schedules(self, sim, line3):
+        plan = _plan(FaultEvent(time=1.0, kind=LINK_DOWN, target="s01<->s02"))
+        injector = FaultInjector(sim, line3, plan)
+        assert sim.faults is None
+        count = injector.arm()
+        assert count == 1
+        assert sim.faults is injector
+        assert sim.pending_events() >= 1
+
+    def test_double_arm_rejected(self, sim, line3):
+        injector = FaultInjector(sim, line3, _plan())
+        injector.arm()
+        with pytest.raises(FaultError):
+            injector.arm()
+
+    def test_rng_required_for_loss_plans(self, sim, line3):
+        plan = _plan(FaultEvent(time=1.0, kind=PROBE_LOSS, target="*", rate=0.5))
+        with pytest.raises(FaultError):
+            FaultInjector(sim, line3, plan)
+
+    def test_past_events_clamped_to_now(self, sim, line3):
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.now == 2.0
+        plan = _plan(FaultEvent(time=0.5, kind=LINK_DOWN, target="s01<->s02"))
+        injector = FaultInjector(sim, line3, plan)
+        injector.arm()
+        sim.run()
+        assert not line3.links["s01<->s02"].up
+
+
+class TestLinkFaults:
+    def test_down_then_up(self, sim, line3):
+        plan = _plan(
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="s01<->s02"),
+            FaultEvent(time=2.0, kind=LINK_UP, target="s01<->s02"),
+        )
+        injector = FaultInjector(sim, line3, plan)
+        injector.arm()
+        sim.run()
+        link = line3.links["s01<->s02"]
+        assert link.up
+        assert [(t, e.kind) for t, e in injector.fired] == [
+            (1.0, LINK_DOWN), (2.0, LINK_UP),
+        ]
+        assert injector.faults_injected == 1
+        assert injector.faults_recovered == 1
+
+    def test_wildcard_hits_every_link(self, sim, line3):
+        injector = FaultInjector(sim, line3, _plan(
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="*")
+        ))
+        injector.arm()
+        sim.run()
+        assert all(not link.up for link in line3.links.values())
+
+    def test_unknown_link_raises_at_fire_time(self, sim, line3):
+        injector = FaultInjector(sim, line3, _plan(
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="nope")
+        ))
+        injector.arm()
+        with pytest.raises(FaultError):
+            sim.run()
+
+    def test_degrade_and_restore(self, sim, line3):
+        plan = _plan(
+            FaultEvent(time=1.0, kind=LINK_DEGRADE, target="s01<->s02",
+                       rate_factor=0.25, extra_delay=0.02),
+            FaultEvent(time=2.0, kind=LINK_RESTORE, target="s01<->s02"),
+        )
+        FaultInjector(sim, line3, plan).arm()
+        link = line3.links["s01<->s02"]
+        sim.run(until=1.5)
+        assert link.rate_factor == 0.25
+        assert link.extra_delay == 0.02
+        sim.run()
+        assert link.rate_factor == 1.0
+        assert link.extra_delay == 0.0
+
+
+class TestSwitchAndServerFaults:
+    def test_register_wipe_resets_all_arrays(self, sim, line3):
+        FaultInjector(sim, line3, _plan(
+            FaultEvent(time=1.0, kind=REGISTER_WIPE, target="s01")
+        )).arm()
+        sim.run()
+        program = line3.switches["s01"].program
+        assert program.registers
+        assert all(reg.resets == 1 for reg in program.registers.values())
+
+    def test_server_crash_and_recover(self, sim, line3):
+        from repro.edge.server import EdgeServer
+
+        server = EdgeServer(line3.host("h2"))
+        plan = _plan(
+            FaultEvent(time=1.0, kind=SERVER_CRASH, target="h2"),
+            FaultEvent(time=2.0, kind=SERVER_RECOVER, target="h2"),
+        )
+        FaultInjector(sim, line3, plan, servers={"h2": server}).arm()
+        sim.run(until=1.5)
+        assert not server.alive
+        sim.run()
+        assert server.alive
+
+    def test_unknown_server_raises(self, sim, line3):
+        injector = FaultInjector(sim, line3, _plan(
+            FaultEvent(time=1.0, kind=SERVER_CRASH, target="h9")
+        ), servers={})
+        injector.arm()
+        with pytest.raises(FaultError):
+            sim.run()
+
+
+class TestObsMirroring:
+    def test_events_and_counters(self, sim, line3):
+        obs = Observability()
+        obs.bind_sim(sim)
+        plan = _plan(
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="s01<->s02"),
+            FaultEvent(time=2.0, kind=LINK_UP, target="s01<->s02"),
+        )
+        FaultInjector(sim, line3, plan).arm()
+        sim.run()
+        injected = obs.events.of_kind("fault_injected")
+        recovered = obs.events.of_kind("fault_recovered")
+        assert len(injected) == len(recovered) == 1
+        assert injected[0].fields == {"fault": LINK_DOWN, "target": "s01<->s02"}
+        assert injected[0].time == 1.0
+        assert obs.metrics.counter(
+            "faults_injected_total", fault=LINK_DOWN
+        ).value == 1
+        assert obs.metrics.counter(
+            "faults_recovered_total", fault=LINK_UP
+        ).value == 1

@@ -1,0 +1,111 @@
+"""Fault plans: validation, flap expansion, JSON round-trips."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    BUILTIN_SCENARIOS,
+    FaultEvent,
+    FaultPlan,
+    LINK_DOWN,
+    LINK_FLAP,
+    LINK_UP,
+    PACKET_LOSS,
+    SERVER_CRASH,
+    builtin_plan,
+    scenario_names,
+)
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=1.0, kind="meteor_strike")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=-0.1, kind=LINK_DOWN)
+
+    def test_rate_bounds(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=0.0, kind=PACKET_LOSS, rate=1.5)
+
+    def test_rate_factor_bounds(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=0.0, kind="link_degrade", rate_factor=0.0)
+
+    def test_flap_needs_positive_period_and_count(self):
+        with pytest.raises(FaultError):
+            FaultEvent(time=0.0, kind=LINK_FLAP, period=0.0)
+        with pytest.raises(FaultError):
+            FaultEvent(time=0.0, kind=LINK_FLAP, count=0)
+
+    def test_recovery_classification(self):
+        assert FaultEvent(time=0.0, kind=LINK_UP).is_recovery
+        assert not FaultEvent(time=0.0, kind=SERVER_CRASH).is_recovery
+
+    def test_target_aliases(self):
+        for alias in ("target", "link", "switch", "node", "server"):
+            ev = FaultEvent.from_dict({"time": 1.0, "kind": LINK_DOWN, alias: "x"})
+            assert ev.target == "x"
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(FaultError):
+            FaultEvent.from_dict({"time": 1.0, "kind": LINK_DOWN, "wat": 1})
+
+
+class TestFaultPlan:
+    def test_flap_expansion(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=2.0, kind=LINK_FLAP, target="l", period=1.0, count=2),
+        ))
+        expanded = plan.expanded()
+        assert [(e.time, e.kind) for e in expanded] == [
+            (2.0, LINK_DOWN), (2.5, LINK_UP), (3.0, LINK_DOWN), (3.5, LINK_UP),
+        ]
+        assert plan.horizon == 3.5
+
+    def test_expansion_sorted_and_stable(self):
+        plan = FaultPlan(events=(
+            FaultEvent(time=5.0, kind=LINK_DOWN, target="late"),
+            FaultEvent(time=1.0, kind=LINK_DOWN, target="early"),
+            FaultEvent(time=1.0, kind=LINK_UP, target="early"),
+        ))
+        expanded = plan.expanded()
+        assert [e.time for e in expanded] == [1.0, 1.0, 5.0]
+        assert [e.kind for e in expanded[:2]] == [LINK_DOWN, LINK_UP]
+
+    def test_needs_rng_only_for_loss(self):
+        assert not builtin_plan("link-flap").needs_rng()
+        assert builtin_plan("probe-blackout").needs_rng()
+
+    def test_json_round_trip(self):
+        plan = builtin_plan("server-crash")
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(FaultError):
+            FaultPlan.from_json('{"no_events": true}')
+
+    def test_non_event_member_rejected(self):
+        with pytest.raises(FaultError):
+            FaultPlan(events=("not-an-event",))
+
+
+class TestBuiltins:
+    def test_every_builtin_loads(self):
+        for name in scenario_names():
+            plan = builtin_plan(name)
+            assert plan.name == name
+            assert len(plan) >= 1
+            assert plan.description
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(FaultError):
+            builtin_plan("does-not-exist")
+
+    def test_names_sorted_and_match_registry(self):
+        assert scenario_names() == sorted(BUILTIN_SCENARIOS)

@@ -28,6 +28,10 @@ class TestEmission:
         log.task_transition(task_id=5, state="failed")
         log.warning("bad probe", src=1)
         log.packet_dropped(queue="s1[1]")
+        log.fault_injected(fault="link_down", target="s01<->s02")
+        log.fault_recovered(fault="link_up", target="s01<->s02")
+        log.node_quarantined(node="node7", age=3.5)
+        log.node_unquarantined(node="node7")
         assert set(log.counts_by_kind()) == set(EVENT_KINDS)
 
     def test_snapshot_is_jsonl_ready(self):

@@ -131,3 +131,100 @@ class TestDelivery:
         sim.run()
         assert not port.busy
         assert port.backlog == 0
+
+
+class TestUtilization:
+    def _loaded_link(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        net.add_host("a")
+        net.add_host("b")
+        link = net.connect("a", "b", rate_bps=mbps(20), delay=0.0)
+        net.finalize()
+        net.host("b").bind(PROTO_UDP, 5, lambda p: None)
+        net.host("a").send(
+            net.host("a").new_packet(net.address_of("b"), dst_port=5, size_bytes=1500)
+        )
+        sim.run()
+        return net, link
+
+    def test_utilization_fraction(self, sim, quiet_network_factory):
+        net, link = self._loaded_link(sim, quiet_network_factory)
+        port = net.host("a").ports[0]
+        assert link.utilization(port, 1.0) == pytest.approx(1500 * 8 / mbps(20))
+
+    def test_nonpositive_window_rejected(self, sim, quiet_network_factory):
+        net, link = self._loaded_link(sim, quiet_network_factory)
+        port = net.host("a").ports[0]
+        with pytest.raises(ValueError, match="window must be positive"):
+            link.utilization(port, 0.0)
+        with pytest.raises(ValueError, match="window must be positive"):
+            link.utilization(port, -1.0)
+
+
+class TestLinkFaultState:
+    def _pair(self, sim, quiet_network_factory):
+        net = quiet_network_factory()
+        net.add_host("a")
+        net.add_host("b")
+        link = net.connect("a", "b", rate_bps=mbps(20), delay=ms(1))
+        net.finalize()
+        received = []
+        net.host("b").bind(PROTO_UDP, 5, lambda p: received.append(p.seq))
+        return net, link, received
+
+    def _send(self, net, seq=0):
+        net.host("a").send(
+            net.host("a").new_packet(net.address_of("b"), dst_port=5, size_bytes=500, seq=seq)
+        )
+
+    def test_link_down_loses_frames(self, sim, quiet_network_factory):
+        net, link, received = self._pair(sim, quiet_network_factory)
+        link.set_up(False)
+        self._send(net, seq=0)
+        sim.run()
+        assert received == []
+        assert link.packets_lost == 1
+        link.set_up(True)
+        self._send(net, seq=1)
+        sim.run()
+        assert received == [1]
+
+    def test_degradation_slows_and_delays(self, sim, quiet_network_factory):
+        net, link, received = self._pair(sim, quiet_network_factory)
+        arrivals = []
+        net.host("b").bind(PROTO_UDP, 6, lambda p: arrivals.append(sim.now))
+        link.set_degradation(rate_factor=0.5, extra_delay=ms(20))
+        net.host("a").send(
+            net.host("a").new_packet(net.address_of("b"), dst_port=6, size_bytes=1500)
+        )
+        sim.run()
+        expected = transmission_time(1500, mbps(10)) + ms(1) + ms(20)
+        assert arrivals == [pytest.approx(expected)]
+
+    def test_set_loss_requires_rng(self, sim, quiet_network_factory):
+        _net, link, _received = self._pair(sim, quiet_network_factory)
+        with pytest.raises(TopologyError):
+            link.set_loss(rate=0.5)
+        with pytest.raises(TopologyError):
+            link.set_loss(rate=1.5, rng=object())
+
+    def test_probe_loss_spares_data(self, sim, quiet_network_factory):
+        import random
+
+        net, link, received = self._pair(sim, quiet_network_factory)
+        link.set_loss(probe_rate=1.0, rng=random.Random(1))
+        self._send(net, seq=0)  # data packet: unaffected
+        sim.run()
+        assert received == [0]
+
+    def test_restore_clears_impairment(self, sim, quiet_network_factory):
+        import random
+
+        _net, link, _received = self._pair(sim, quiet_network_factory)
+        link.set_loss(rate=1.0, rng=random.Random(1))
+        link.set_degradation(rate_factor=0.5, extra_delay=ms(5))
+        assert link.impaired
+        link.set_loss(rate=0.0, probe_rate=0.0)
+        link.set_degradation(rate_factor=1.0, extra_delay=0.0)
+        assert not link.impaired
+        assert link.rate_factor == 1.0 and link.extra_delay == 0.0

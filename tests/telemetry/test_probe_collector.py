@@ -116,6 +116,51 @@ class TestResponderAndCollector:
         assert collector.reports_malformed == 1
         assert collector.reports_ingested == 0
 
+    def test_wrapped_report_payload_not_bytes_counted(self, sim, line3):
+        """A 7-tuple whose payload field isn't bytes is rejected without
+        raising — the mesh path must survive a buggy or hostile forwarder."""
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        h1 = net.host("h1")
+        from repro.telemetry.probe import PORT_PROBE_REPORT
+
+        bad = ("src", "dst", 0, 0.0, 0.0, {"not": "bytes"}, None)
+        h1.send(h1.new_packet(
+            net.address_of("h3"), dst_port=PORT_PROBE_REPORT, message=bad
+        ))
+        sim.run(until=0.5)
+        assert collector.reports_malformed == 1
+        assert collector.reports_ingested == 0
+
+    def test_wrapped_report_malformed_probe_payload_counted(self, sim, line3):
+        """Well-formed wrapper around a garbage probe payload: counted as
+        malformed by the inner decode, never raises out of the handler."""
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        h1 = net.host("h1")
+        from repro.telemetry.probe import PORT_PROBE_REPORT
+
+        wrapped = (1, 3, 0, 0.0, 0.1, b"NOTAPROBE", None)
+        h1.send(h1.new_packet(
+            net.address_of("h3"), dst_port=PORT_PROBE_REPORT, message=wrapped
+        ))
+        sim.run(until=0.5)
+        assert collector.reports_malformed == 1
+        assert collector.reports_ingested == 0
+
+    def test_wrapped_report_accepts_bytearray_payload(self, sim, line3):
+        """The mesh path round-trips a real probe payload carried as a
+        bytearray (the other branch of the isinstance check)."""
+        net = line3
+        collector = IntCollector(net.host("h3"))
+        responder = ProbeResponder(net.host("h2"), collector_addr=net.address_of("h3"))
+        ProbeSender(net.host("h1"), [net.address_of("h2")]).start()
+        sim.run(until=0.5)
+        assert responder.reports_forwarded > 0
+        assert collector.reports_malformed == 0
+        # The newest forward may still be in flight at the cutoff.
+        assert collector.reports_ingested >= responder.reports_forwarded - 1 > 0
+
     def test_malformed_probe_payload_counted(self, sim, line3):
         collector = IntCollector(line3.host("h3"))
         out = collector.ingest_probe(
@@ -197,3 +242,38 @@ class TestCollectorObservability:
         assert collector.probes_lost == 0
         collector._track_loss(obs, src=1, dst=3, seq=10)  # skipped seq 8
         assert collector.probes_lost == 1
+
+    def test_sender_restart_resets_stream(self, sim, line3):
+        """Regression: a restarted sender (seq back to 0) must not book the
+        climb back to the old front as thousands of lost probes."""
+        obs = self._attach(sim)
+        collector = IntCollector(line3.host("h3"))
+        for seq in (500, 501, 502):
+            collector._track_loss(obs, src=1, dst=3, seq=seq)
+        # Sender reboots: stream restarts from 0 and counts up normally.
+        for seq in (0, 1, 2, 3):
+            collector._track_loss(obs, src=1, dst=3, seq=seq)
+        assert collector.probes_lost == 0
+        assert obs.events.of_kind("probe_lost") == []
+        # The reset stream detects fresh gaps immediately.
+        collector._track_loss(obs, src=1, dst=3, seq=6)
+        assert collector.probes_lost == 2
+
+    def test_duplicate_seq_ignored(self, sim, line3):
+        obs = self._attach(sim)
+        collector = IntCollector(line3.host("h3"))
+        for seq in (0, 1, 1, 2):
+            collector._track_loss(obs, src=1, dst=3, seq=seq)
+        assert collector.probes_lost == 0
+
+    def test_small_reorder_tolerated_without_reset(self, sim, line3):
+        """A straggler within a few strides is reordering, not a restart:
+        the stream keeps its front and its inferred stride."""
+        obs = self._attach(sim)
+        collector = IntCollector(line3.host("h3"))
+        for seq in (0, 1, 2, 3):
+            collector._track_loss(obs, src=1, dst=3, seq=seq)
+        collector._track_loss(obs, src=1, dst=3, seq=2)  # late straggler
+        assert collector._streams[(1, 3)] == (3, 1)
+        collector._track_loss(obs, src=1, dst=3, seq=4)  # stream continues
+        assert collector.probes_lost == 0

@@ -98,3 +98,45 @@ def test_obs_report_command(capsys, tmp_path):
     text = report_out.read_text()
     assert "policy=aware" in text
     assert "delay error" in text
+
+def test_faults_lists_builtin_scenarios(capsys):
+    rc = main(["faults"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("link-flap", "server-crash", "probe-blackout"):
+        assert name in out
+
+
+def test_faults_show_round_trips(capsys, tmp_path):
+    from repro.faults import FaultPlan, builtin_plan
+
+    plan_file = tmp_path / "plan.json"
+    rc = main(["faults", "--show", "server-crash", "--out", str(plan_file)])
+    assert rc == 0
+    assert FaultPlan.load(str(plan_file)) == builtin_plan("server-crash")
+
+
+def test_faults_run_emits_comparison(capsys):
+    rc = main(["faults", "--run", "server-crash", "--scale", "smoke"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "scenario: server-crash" in out
+    assert "degr." in out and "failovers" in out
+
+
+def test_faults_unknown_spec_clean_error(capsys):
+    rc = main(["faults", "--run", "no-such-scenario"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "link-flap" in err  # the message lists what IS available
+
+
+def test_compare_with_faults_flag(capsys, tmp_path):
+    out = tmp_path / "cmp.txt"
+    rc = main([
+        "compare", "--figure", "fig5", "--scale", "smoke", "--classes", "VS",
+        "--faults", "link-flap", "--no-degradation", "--out", str(out),
+    ])
+    assert rc == 0
+    assert "gain vs nearest" in out.read_text()
