@@ -7,7 +7,14 @@ Commands map one-to-one onto the experiment harnesses:
 * ``sweep``     — the Fig. 9 probing-interval sweep;
 * ``reproduce`` — everything, in paper order (Fig. 3, 5, 6, 7, 8, 9);
 * ``faults``    — list/show/run fault-injection scenarios (robustness);
-* ``obs-report`` — summarize an observability export (``--obs-out`` file).
+* ``obs-report`` — summarize an observability export (``--obs-out`` file);
+* ``bench-runner`` — time the Fig. 5 grid serial vs parallel vs cached;
+* ``cache``     — inspect or clear the on-disk run cache.
+
+Every experiment command executes its grid on :class:`repro.runner.Runner`:
+``--jobs N`` fans runs out over worker processes (results are byte-identical
+to serial), ``--cache`` reuses ``.runcache/`` results from previous
+invocations, and ``--cache-dir`` relocates the cache.
 
 All output is plain text tables (`repro.experiments.report`); ``--out``
 additionally writes the report to a file.  ``--obs-out PATH`` (``compare``
@@ -88,6 +95,37 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_runner(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run up to N grid cells in parallel worker processes "
+             "(results are byte-identical to --jobs 1; default: 1)",
+    )
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="reuse cached run results and cache new ones "
+             "(default: --no-cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", type=str, default=None, metavar="DIR",
+        help="run-cache directory (default: .runcache; implies --cache)",
+    )
+
+
+def _runner_from_args(args: argparse.Namespace):
+    """Build the Runner the command's grids execute on."""
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache, Runner
+
+    cache = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if getattr(args, "cache", False) or cache_dir:
+        cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR)
+    progress = None
+    if getattr(args, "jobs", 1) > 1 or cache is not None:
+        progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    return Runner(jobs=getattr(args, "jobs", 1), cache=cache, progress=progress)
+
+
 def _add_faults(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--faults", type=str, default=None, metavar="PLAN",
@@ -115,39 +153,34 @@ def _apply_faults(config: ExperimentConfig, args: argparse.Namespace) -> Experim
     )
 
 
-def _obs_factory(obs_out: Optional[str], **context):
-    """Per-run Observability builder for commands that honor --obs-out."""
+def _obs_labels(obs_out: Optional[str], **context):
+    """Per-run observability label builder for commands honoring --obs-out.
+
+    Returns run-label dicts (not hubs): the hub itself is created inside the
+    worker process executing the run, and its records come back on the
+    result payload."""
     if not obs_out:
         return None
-    from repro.obs import Observability
 
-    def factory(config):
+    def labels(config):
         run = dict(context)
         run.update(
             policy=config.policy,
             size_class=config.size_class.label,
             seed=config.seed,
         )
-        return Observability(run=run)
+        return run
 
-    return factory
+    return labels
 
 
-def _write_obs(reporter: "_Reporter", obs_out: Optional[str], results) -> None:
-    """Append every run's observability records to one JSONL file."""
+def _write_obs(reporter: "_Reporter", obs_out: Optional[str], records) -> None:
+    """Write collected observability records to one JSONL file."""
     if not obs_out:
         return
     from repro.obs.export import write_jsonl
 
-    total = 0
-    first = True
-    for result in results:
-        if result.obs is None:
-            continue
-        total += write_jsonl(
-            result.obs.snapshot_records(), obs_out, append=not first
-        )
-        first = False
+    total = write_jsonl(list(records), obs_out)
     reporter.emit(f"observability: {total} records written to {obs_out}")
 
 
@@ -163,7 +196,8 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
     reporter = _Reporter(args.out)
     _warn_obs_unsupported(reporter, args)
     points = run_calibration_sweep(
-        tuple(args.levels), duration=args.duration, seed=args.seed
+        tuple(args.levels), duration=args.duration, seed=args.seed,
+        runner=_runner_from_args(args),
     )
     reporter.emit("Fig. 3 — max queue depth & RTT vs utilization")
     reporter.emit(render_calibration(points))
@@ -181,11 +215,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
         config,
         size_classes=classes,
         policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
-        obs_factory=_obs_factory(args.obs_out, figure=args.figure),
+        obs_labels=_obs_labels(args.obs_out, figure=args.figure),
+        runner=_runner_from_args(args),
     )
     reporter.emit(f"{args.figure} — policy comparison ({measure} time)")
     reporter.emit(render_comparison(comparison, measure=measure))
-    _write_obs(reporter, args.obs_out, comparison.results.values())
+    _write_obs(reporter, args.obs_out, comparison.obs_records)
     reporter.close()
     return 0
 
@@ -193,8 +228,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_sweep(args: argparse.Namespace) -> int:
     reporter = _Reporter(args.out)
     _warn_obs_unsupported(reporter, args)
+    runner = _runner_from_args(args)
     sweeps = [
-        run_probing_sweep(name, intervals=tuple(args.intervals), seed=args.seed)
+        run_probing_sweep(
+            name, intervals=tuple(args.intervals), seed=args.seed, runner=runner
+        )
         for name in args.scenarios
     ]
     reporter.emit("Fig. 9 — probing interval vs mean transfer time")
@@ -213,11 +251,12 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
                          size_class=_CLASSES[args.size_class]),
         scale=SCALES[args.scale], seed=args.seed,
     )
+    runner = _runner_from_args(args)
     if args.parameter == "k":
-        result = sweep_k(values=tuple(args.values), base_config=base)
+        result = sweep_k(values=tuple(args.values), base_config=base, runner=runner)
     else:
         result = sweep_probing_parameter(
-            args.parameter, tuple(args.values), base_config=base
+            args.parameter, tuple(args.values), base_config=base, runner=runner
         )
     reporter.emit(f"sensitivity of gain-vs-nearest to {args.parameter}")
     for value, gain in result.series():
@@ -234,12 +273,13 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     calib_duration = {"smoke": 20.0, "quick": 30.0, "full": 300.0}[args.scale]
     intervals = (0.1, 30.0) if args.scale == "smoke" else DEFAULT_INTERVALS
     started = time.time()
+    runner = _runner_from_args(args)
 
     reporter.emit(f"# Reproduction report (scale={args.scale}, seed={args.seed})")
     reporter.emit("\n## Fig. 3 — max queue depth & RTT vs utilization")
     points = run_calibration_sweep(
         (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0),
-        duration=calib_duration, seed=args.seed,
+        duration=calib_duration, seed=args.seed, runner=runner,
     )
     reporter.emit(render_calibration(points))
 
@@ -250,13 +290,14 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
             _apply_faults(replace(base, scale=scale, seed=args.seed), args),
             size_classes=classes,
             policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
-            obs_factory=_obs_factory(args.obs_out, figure=name),
+            obs_labels=_obs_labels(args.obs_out, figure=name),
+            runner=runner,
         )
         comparisons[name] = comparison
         reporter.emit(render_comparison(comparison, measure=measure))
     _write_obs(
         reporter, args.obs_out,
-        [r for c in comparisons.values() for r in c.results.values()],
+        [r for c in comparisons.values() for r in c.obs_records],
     )
 
     reporter.emit("\n## fig8 (ECDF of per-task completion gain vs nearest)")
@@ -272,7 +313,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 
     reporter.emit("\n## fig9 (probing interval sweep)")
     sweeps = [
-        run_probing_sweep(name, intervals=intervals, seed=args.seed)
+        run_probing_sweep(name, intervals=intervals, seed=args.seed, runner=runner)
         for name in ("traffic1", "traffic2")
     ]
     reporter.emit(render_probing_sweep(sweeps))
@@ -297,7 +338,9 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.run:
         plan = resolve_plan(args.run)
         config = ExperimentConfig(scale=SCALES[args.scale], seed=args.seed)
-        rows = compare_degradation(plan, base_config=config)
+        rows = compare_degradation(
+            plan, base_config=config, runner=_runner_from_args(args)
+        )
         reporter.emit(render_fault_comparison(plan, rows))
         reporter.close()
         # CI contract: a scenario where a *degraded* policy completes zero
@@ -315,6 +358,51 @@ def cmd_faults(args: argparse.Namespace) -> int:
     for name in sorted(BUILTIN_SCENARIOS):
         reporter.emit(f"  {name:<15} {builtin_plan(name).description}")
     reporter.close()
+    return 0
+
+
+def cmd_bench_runner(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runner import DEFAULT_CACHE_DIR
+    from repro.runner.bench import run_bench
+
+    report = run_bench(
+        scale=args.scale,
+        jobs=args.jobs,
+        seed=args.seed,
+        cache_root=args.cache_dir or DEFAULT_CACHE_DIR,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.bench_out:
+        with open(args.bench_out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"benchmark written to {args.bench_out}", file=sys.stderr)
+    if not report["byte_identical"]:
+        print(
+            "error: parallel/cached payloads diverge from serial for: "
+            + ", ".join(report["diverging_cells"]),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached run(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"run cache {cache.root}: {len(entries)} entries, "
+          f"{cache.size_bytes()} bytes")
+    for spec_hash in entries:
+        print(f"  {spec_hash}")
     return 0
 
 
@@ -351,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--levels", type=float, nargs="+",
                    default=[0.0, 0.25, 0.5, 0.75, 0.9, 1.0])
     p.add_argument("--duration", type=float, default=30.0)
+    _add_runner(p)
     _add_common(p)
     p.set_defaults(fn=cmd_calibrate)
 
@@ -359,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=sorted(SCALES), default="quick")
     p.add_argument("--classes", nargs="+", choices=sorted(_CLASSES), default=["VS", "S"])
     _add_faults(p)
+    _add_runner(p)
     _add_common(p)
     p.set_defaults(fn=cmd_compare)
 
@@ -366,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scenarios", nargs="+", choices=["traffic1", "traffic2"],
                    default=["traffic2"])
     p.add_argument("--intervals", type=float, nargs="+", default=[0.1, 10.0, 30.0])
+    _add_runner(p)
     _add_common(p)
     p.set_defaults(fn=cmd_sweep)
 
@@ -375,12 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--values", type=float, nargs="+", default=[0.0, 0.02, 0.08])
     p.add_argument("--scale", choices=sorted(SCALES), default="smoke")
     p.add_argument("--size-class", dest="size_class", choices=sorted(_CLASSES), default="S")
+    _add_runner(p)
     _add_common(p)
     p.set_defaults(fn=cmd_sensitivity)
 
     p = sub.add_parser("reproduce", help="regenerate every figure")
     p.add_argument("--scale", choices=sorted(SCALES), default="quick")
     _add_faults(p)
+    _add_runner(p)
     _add_common(p)
     p.set_defaults(fn=cmd_reproduce)
 
@@ -392,8 +485,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--run", metavar="PLAN", default=None,
                    help="run the degradation comparison for a scenario")
     p.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    _add_runner(p)
     _add_common(p)
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "bench-runner",
+        help="time the Fig. 5 grid serial vs parallel vs cached "
+             "(fails if payloads diverge)",
+    )
+    p.add_argument("--scale", choices=sorted(SCALES), default="smoke")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="worker processes for the parallel pass (default: 2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                   help="cache directory for the cached pass "
+                        "(default: .runcache)")
+    p.add_argument("--bench-out", type=str, default=None, metavar="PATH",
+                   help="also write the JSON report to PATH "
+                        "(e.g. BENCH_runner.json)")
+    p.set_defaults(fn=cmd_bench_runner)
+
+    p = sub.add_parser("cache", help="inspect or clear the run cache")
+    p.add_argument("--clear", action="store_true", help="delete every entry")
+    p.add_argument("--cache-dir", type=str, default=None, metavar="DIR")
+    p.set_defaults(fn=cmd_cache)
 
     p = sub.add_parser("obs-report", help="summarize an --obs-out JSONL export")
     p.add_argument("path", help="JSONL file written via --obs-out")

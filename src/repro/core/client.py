@@ -29,6 +29,13 @@ _QUERY_SIZE = HEADER_OVERHEAD + 16
 _request_ids = itertools.count(1)
 
 
+def reset_request_ids() -> None:
+    """Restart request id allocation at 1 (fresh-run determinism; see
+    :func:`repro.edge.task.reset_ids`)."""
+    global _request_ids
+    _request_ids = itertools.count(1)
+
+
 class SchedulerClient:
     """Query the scheduling service and deliver ranked server lists."""
 

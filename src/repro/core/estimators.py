@@ -157,6 +157,12 @@ class QdepthUtilizationCurve:
             dedup[q] = max(dedup.get(q, 0.0), u)
         return cls(sorted(dedup.items()))
 
+    @property
+    def knots(self) -> List[Tuple[float, float]]:
+        """The (max_qdepth, utilization) knots, in queue-depth order — the
+        curve's full state, usable to serialize and reconstruct it."""
+        return list(zip(self._qs, self._us))
+
     def utilization(self, max_qdepth: float) -> float:
         """Interpolated utilization estimate; clamps outside the knot range."""
         qs, us = self._qs, self._us

@@ -54,6 +54,17 @@ _task_ids = itertools.count(1)
 _job_ids = itertools.count(1)
 
 
+def reset_ids() -> None:
+    """Restart task/job id allocation at 1.
+
+    Experiment runs call this so the ids a run hands out depend only on the
+    run itself, never on how many runs preceded it in the process — the
+    property the runner's content-addressed result cache relies on."""
+    global _task_ids, _job_ids
+    _task_ids = itertools.count(1)
+    _job_ids = itertools.count(1)
+
+
 def sample_task(
     rng: np.random.Generator, size_class: SizeClass, *, scale: float = 1.0
 ) -> Tuple[int, float]:

@@ -28,7 +28,7 @@ from repro.experiments.harness import (
 )
 from repro.experiments.calibration import CalibrationPoint, run_calibration, run_calibration_sweep
 from repro.experiments.comparison import ComparisonResult, run_comparison
-from repro.experiments.ecdf import gain_ecdf, paired_gains
+from repro.experiments.ecdf import gain_ecdf, paired_gains, run_gain_ecdf
 from repro.experiments.probing_sweep import ProbingSweepResult, run_probing_sweep
 from repro.experiments.sensitivity import SensitivityResult, sweep_k, sweep_probing_parameter
 from repro.experiments.export import (
@@ -59,6 +59,7 @@ __all__ = [
     "run_comparison",
     "gain_ecdf",
     "paired_gains",
+    "run_gain_ecdf",
     "ProbingSweepResult",
     "run_probing_sweep",
     "SensitivityResult",

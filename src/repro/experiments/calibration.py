@@ -22,7 +22,7 @@ from repro.core.estimators import QdepthUtilizationCurve
 from repro.errors import ExperimentError
 from repro.simnet.engine import Simulator
 from repro.simnet.flows import PingApp, PingResponder, UdpCbrFlow, UdpSink
-from repro.simnet.random import RandomStreams
+from repro.simnet.random import run_streams
 from repro.simnet.topology import Network
 from repro.telemetry.collector import IntCollector
 from repro.telemetry.probe import ProbeResponder, ProbeSender
@@ -61,7 +61,13 @@ def run_calibration(
     if duration <= 2.0:
         raise ExperimentError("calibration needs a few seconds of runtime")
 
-    streams = RandomStreams(seed)
+    # Same run hygiene as the main harness: fresh id counters and seed-only
+    # RNG state, so a calibration point is a pure function of its arguments
+    # no matter what ran before it in this process.
+    from repro.experiments.harness import reset_run_state
+
+    reset_run_state()
+    streams = run_streams(seed)
     sim = Simulator()
     net = Network(sim, streams)
     net.add_host("h1")
@@ -123,19 +129,23 @@ def run_calibration_sweep(
     link_delay: float = ms(10),
     probing_interval: float = 0.1,
     seed: int = 0,
+    runner=None,
 ) -> List[CalibrationPoint]:
-    """The full Fig. 3 sweep (fresh simulation per level)."""
-    return [
-        run_calibration(
-            level,
-            duration=duration,
-            rate_bps=rate_bps,
-            link_delay=link_delay,
-            probing_interval=probing_interval,
-            seed=seed,
-        )
-        for level in levels
-    ]
+    """The full Fig. 3 sweep: one :class:`repro.runner.CalibrationSpec` per
+    level, executed on a Runner (fresh simulation per level either way)."""
+    from repro.runner import CalibrationSpec, Runner
+
+    if runner is None:
+        runner = Runner()
+    base = CalibrationSpec(
+        duration=duration,
+        rate_bps=rate_bps,
+        link_delay=link_delay,
+        probing_interval=probing_interval,
+        seed=seed,
+    )
+    runs = runner.run_grid(base, {"utilization": [float(x) for x in levels]})
+    return [run.calibration_point() for run in runs]
 
 
 def calibration_to_curve(points: Sequence[CalibrationPoint]) -> QdepthUtilizationCurve:

@@ -10,12 +10,16 @@ Random baselines across the four Table I size classes:
 Runs within one size class share a seed, so the workload and congestion are
 identical across policies and the paper's "performance gain" bars —
 ``(baseline − aware) / baseline`` — are computed on paired populations.
+
+The grid itself executes on :class:`repro.runner.Runner`: pass ``runner=``
+to fan the cells out over worker processes or to reuse cached results —
+the cells are independent, and payloads are byte-identical either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.edge.task import SizeClass
 from repro.errors import ExperimentError
@@ -25,7 +29,6 @@ from repro.experiments.harness import (
     POLICY_RANDOM,
     ExperimentConfig,
     ExperimentResult,
-    run_experiment,
 )
 
 __all__ = ["ComparisonResult", "run_comparison", "FIG5_CONFIG", "FIG6_CONFIG", "FIG7_CONFIG"]
@@ -45,6 +48,10 @@ class ComparisonResult:
 
     base_config: ExperimentConfig
     results: Dict[Tuple[SizeClass, str], ExperimentResult] = field(default_factory=dict)
+    # Observability records captured by the cells (empty unless obs_labels
+    # was given): hubs live in worker processes, so their records ride here
+    # instead of on ExperimentResult.obs.
+    obs_records: List[Dict[str, Any]] = field(default_factory=list)
 
     def result(self, size_class: SizeClass, policy: str) -> ExperimentResult:
         try:
@@ -104,19 +111,33 @@ def run_comparison(
     *,
     size_classes: Sequence[SizeClass] = ALL_CLASSES,
     policies: Sequence[str] = DEFAULT_POLICIES,
-    obs_factory: Optional[Callable[[ExperimentConfig], object]] = None,
+    obs_labels: Optional[Callable[[ExperimentConfig], Dict[str, Any]]] = None,
+    runner: Optional[Any] = None,
 ) -> ComparisonResult:
-    """Run every (size class × policy) cell of one figure.
+    """Run every (size class × policy) cell of one figure on a Runner.
 
-    ``obs_factory(config)`` — when given — builds one observability hub per
-    cell (a hub binds to one simulator clock, so sharing across runs would
-    scramble timestamps); each hub rides on its cell's
-    :attr:`ExperimentResult.obs`.
+    ``runner`` defaults to a fresh serial :class:`repro.runner.Runner`; pass
+    one configured with ``jobs``/``cache`` to parallelize or reuse results.
+    ``obs_labels(config)`` — when given — returns the run-label dict for
+    that cell's observability hub; the hub lives in the worker and its
+    records come back on :attr:`ComparisonResult.obs_records`.
     """
+    from repro.runner import Runner, RunSpec
+
+    if runner is None:
+        runner = Runner()
+    cells = [(sc, policy) for sc in size_classes for policy in policies]
+    specs = []
+    for size_class, policy in cells:
+        config = replace(base_config, size_class=size_class, policy=policy)
+        specs.append(
+            RunSpec.from_config(
+                config,
+                obs_run=obs_labels(config) if obs_labels is not None else None,
+            )
+        )
     out = ComparisonResult(base_config=base_config)
-    for size_class in size_classes:
-        for policy in policies:
-            config = replace(base_config, size_class=size_class, policy=policy)
-            obs = obs_factory(config) if obs_factory is not None else None
-            out.results[(size_class, policy)] = run_experiment(config, obs=obs)
+    for (size_class, policy), run in zip(cells, runner.run(specs)):
+        out.results[(size_class, policy)] = run.experiment_result()
+        out.obs_records.extend(run.obs_records())
     return out

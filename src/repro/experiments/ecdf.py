@@ -10,15 +10,21 @@ measurement jitter)."""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import replace
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import ecdf
 from repro.errors import ExperimentError
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    POLICY_NEAREST,
+    ExperimentConfig,
+    ExperimentResult,
+)
 
-__all__ = ["paired_gains", "gain_ecdf", "fraction_above"]
+__all__ = ["paired_gains", "gain_ecdf", "fraction_above", "run_gain_ecdf"]
 
 
 def paired_gains(
@@ -54,6 +60,39 @@ def paired_gains(
     if not gains:
         raise ExperimentError("no completed task pairs to compare")
     return gains
+
+
+def run_gain_ecdf(
+    base_config: ExperimentConfig,
+    *,
+    size_class: Optional[object] = None,
+    baseline: str = POLICY_NEAREST,
+    measure: str = "completion",
+    runner=None,
+) -> List[float]:
+    """Run the paired (aware, baseline) cells on a Runner and return the
+    per-task gains — the standalone Fig. 8 entry point.
+
+    Both cells share the base config's seed (and therefore workload and
+    congestion), which is exactly what makes the pairing valid.  With a
+    caching runner the cells are free when a comparison already ran them."""
+    from repro.runner import Runner, RunSpec
+
+    if runner is None:
+        runner = Runner()
+    config = (
+        base_config
+        if size_class is None
+        else replace(base_config, size_class=size_class)
+    )
+    specs = [
+        RunSpec.from_config(replace(config, policy=policy))
+        for policy in (POLICY_AWARE, baseline)
+    ]
+    aware, base = runner.run(specs)
+    return paired_gains(
+        aware.experiment_result(), base.experiment_result(), measure=measure
+    )
 
 
 def gain_ecdf(gains: List[float]) -> Tuple[np.ndarray, np.ndarray]:

@@ -4,6 +4,12 @@ Experiments print text tables for humans; downstream analysis (notebooks,
 regression tracking, plotting elsewhere) wants structured data.  These
 functions flatten result objects into JSON-serializable dictionaries —
 every value is a str/int/float/bool/list/dict, checked by tests.
+
+The flattening is a *round trip*: ``result_from_dict`` rebuilds a full
+:class:`ExperimentResult` (real :class:`TaskRecord` objects inside a real
+:class:`MetricsCollector`) from the dictionary, which is how the parallel
+runner ships results across process boundaries and how cached results come
+back off disk without re-running anything.
 """
 
 from __future__ import annotations
@@ -11,7 +17,8 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from repro.edge.metrics import TaskRecord
+from repro.edge.metrics import MetricsCollector, TaskRecord
+from repro.edge.task import SizeClass
 from repro.experiments.calibration import CalibrationPoint
 from repro.experiments.comparison import ComparisonResult
 from repro.experiments.harness import ExperimentConfig, ExperimentResult
@@ -20,12 +27,16 @@ from repro.experiments.probing_sweep import ProbingSweepResult
 __all__ = [
     "config_to_dict",
     "task_record_to_dict",
+    "task_record_from_dict",
     "result_to_dict",
+    "result_from_dict",
     "comparison_to_dict",
     "calibration_to_dict",
     "sweep_to_dict",
     "dump_json",
 ]
+
+_SIZE_CLASSES = {c.label: c for c in SizeClass}
 
 
 def config_to_dict(config: ExperimentConfig) -> Dict[str, Any]:
@@ -58,6 +69,7 @@ def task_record_to_dict(record: TaskRecord) -> Dict[str, Any]:
         "exec_time": record.exec_time,
         "server_addr": record.server_addr,
         "submitted_at": record.submitted_at,
+        "ranking_received_at": record.ranking_received_at,
         "transfer_started": record.transfer_started,
         "transfer_completed": record.transfer_completed,
         "result_received_at": record.result_received_at,
@@ -73,6 +85,27 @@ def task_record_to_dict(record: TaskRecord) -> Dict[str, Any]:
     }
 
 
+def task_record_from_dict(data: Dict[str, Any]) -> TaskRecord:
+    """Rebuild a :class:`TaskRecord` from :func:`task_record_to_dict` output."""
+    return TaskRecord(
+        task_id=data["task_id"],
+        job_id=data["job_id"],
+        device=data["device"],
+        workload=data["workload"],
+        size_class=_SIZE_CLASSES[data["size_class"]],
+        data_bytes=data["data_bytes"],
+        exec_time=data["exec_time"],
+        submitted_at=data["submitted_at"],
+        server_addr=data.get("server_addr"),
+        ranking_received_at=data.get("ranking_received_at"),
+        transfer_started=data.get("transfer_started"),
+        transfer_completed=data.get("transfer_completed"),
+        result_received_at=data.get("result_received_at"),
+        retransmissions=data.get("retransmissions", 0),
+        failed=data.get("failed", False),
+    )
+
+
 def result_to_dict(result: ExperimentResult, *, include_tasks: bool = True) -> Dict[str, Any]:
     out: Dict[str, Any] = {
         "config": config_to_dict(result.config),
@@ -82,12 +115,46 @@ def result_to_dict(result: ExperimentResult, *, include_tasks: bool = True) -> D
         "probe_reports": result.probe_reports,
         "tasks_completed": result.tasks_completed,
         "tasks_failed": result.tasks_failed,
+        "faults_fired": result.faults_fired,
+        "tasks_retried": result.tasks_retried,
+        "failovers": result.failovers,
         "mean_completion_time": result.mean_completion_time(),
         "mean_transfer_time": result.mean_transfer_time(),
     }
     if include_tasks:
         out["tasks"] = [task_record_to_dict(r) for r in result.records_in_order]
     return out
+
+
+def result_from_dict(
+    data: Dict[str, Any], config: ExperimentConfig
+) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict` output.
+
+    ``config`` supplies the full configuration (the exported ``config`` block
+    is a lossy summary).  The rebuilt result carries real task records inside
+    a real collector, so every downstream consumer — per-class means, ECDF
+    pairing, fault-survival rows — works on it unchanged.  ``obs`` is always
+    ``None``: live observability hubs do not survive serialization (their
+    records ride separately in the runner payload)."""
+    metrics = MetricsCollector()
+    for task in data.get("tasks", ()):
+        metrics.add(task_record_from_dict(task))
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        sim_time=data["sim_time"],
+        events_executed=data["events_executed"],
+        queries_served=data["queries_served"],
+        probe_reports=data["probe_reports"],
+        tasks_completed=data["tasks_completed"],
+        tasks_failed=data["tasks_failed"],
+        faults_fired=data.get("faults_fired", 0),
+        tasks_retried=data.get("tasks_retried", 0),
+        failovers=data.get("failovers", 0),
+        records_in_order=metrics.records,
+        obs=None,
+    )
 
 
 def comparison_to_dict(comparison: ComparisonResult) -> Dict[str, Any]:

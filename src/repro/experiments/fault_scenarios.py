@@ -115,23 +115,26 @@ def compare_degradation(
     *,
     policies: Sequence[str] = (POLICY_AWARE, POLICY_NEAREST),
     base_config: Optional[ExperimentConfig] = None,
-    obs_factory=None,
+    runner=None,
 ) -> List[FaultScenarioRow]:
     """The scenario's full grid: every policy, degradation on and off,
-    identical seed/workload/congestion across all cells."""
-    rows: List[FaultScenarioRow] = []
-    for policy in policies:
-        for degradation in (True, False):
-            obs = obs_factory(policy, degradation) if obs_factory else None
-            result = run_fault_scenario(
-                plan,
-                policy=policy,
-                degradation=degradation,
-                base_config=base_config,
-                obs=obs,
-            )
-            rows.append(_row(result))
-    return rows
+    identical seed/workload/congestion across all cells.  Executes on a
+    :class:`repro.runner.Runner` (serial by default); the fault plan rides
+    inside each spec by contents, so cached cells invalidate when the plan
+    is edited."""
+    from repro.runner import Runner, RunSpec
+
+    if runner is None:
+        runner = Runner()
+    base = base_config if base_config is not None else ExperimentConfig(scale=QUICK_SCALE)
+    cells = [(p, d) for p in policies for d in (True, False)]
+    specs = [
+        RunSpec.from_config(
+            replace(base, policy=policy, fault_plan=plan, degradation=degradation)
+        )
+        for policy, degradation in cells
+    ]
+    return [_row(run.experiment_result()) for run in runner.run(specs)]
 
 
 def render_fault_comparison(plan: FaultPlan, rows: Sequence[FaultScenarioRow]) -> str:

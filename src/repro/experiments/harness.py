@@ -36,9 +36,9 @@ from repro.errors import ExperimentError
 from repro.experiments.fig4_topology import Fig4Topology, build_fig4_network
 from repro.faults import FaultInjector, FaultPlan
 from repro.simnet.engine import PeriodicTimer, Simulator
-from repro.simnet.flows import UdpSink
-from repro.simnet.packet import MTU
-from repro.simnet.random import RandomStreams
+from repro.simnet.flows import UdpSink, reset_flow_ids
+from repro.simnet.packet import MTU, reset_packet_ids
+from repro.simnet.random import RandomStreams, run_streams
 from repro.telemetry.collector import IntCollector
 from repro.telemetry.probe import ProbeResponder, ProbeSender
 
@@ -52,6 +52,7 @@ __all__ = [
     "SMOKE_SCALE",
     "ExperimentConfig",
     "ExperimentResult",
+    "reset_run_state",
     "run_experiment",
 ]
 
@@ -282,6 +283,21 @@ def _setup_probing(
     return senders
 
 
+def reset_run_state() -> None:
+    """Restart every process-global id counter (tasks, jobs, flows, packets,
+    scheduler requests) so a run's output depends only on its configuration,
+    never on how many runs preceded it in the process.  Called at the top of
+    every experiment run; the runner's content-addressed cache and its
+    serial-vs-parallel byte-identity guarantee both rest on this."""
+    from repro.core.client import reset_request_ids
+    from repro.edge.task import reset_ids
+
+    reset_ids()
+    reset_flow_ids()
+    reset_packet_ids()
+    reset_request_ids()
+
+
 def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
     """Run one complete experiment and return its metrics.
 
@@ -289,7 +305,8 @@ def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
     layer for this run: sim-time metrics, structured events, a scheduler
     decision audit with ground truth attached, and task-lifecycle mirroring.
     """
-    streams = RandomStreams(config.seed)
+    reset_run_state()
+    streams = run_streams(config.seed)
     sim = Simulator()
     if obs:
         obs.bind_sim(sim)

@@ -16,7 +16,7 @@ background traffic changes."""
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.edge.background import TRAFFIC_1, TRAFFIC_2
 from repro.edge.task import SizeClass
@@ -26,7 +26,6 @@ from repro.experiments.harness import (
     ExperimentConfig,
     ExperimentResult,
     QUICK_SCALE,
-    run_experiment,
 )
 
 __all__ = ["ProbingSweepResult", "run_probing_sweep", "DEFAULT_INTERVALS", "SCENARIOS"]
@@ -67,14 +66,18 @@ def run_probing_sweep(
     *,
     intervals: Sequence[float] = DEFAULT_INTERVALS,
     base_config: ExperimentConfig = None,
-    seed: int = 0,
+    seed: Optional[int] = None,
+    runner=None,
 ) -> ProbingSweepResult:
-    """Sweep probing intervals for one background scenario.
+    """Sweep probing intervals for one background scenario on a Runner.
 
     Probing intervals and scenario durations are used *unscaled* by default
     (time_scale = 1): Fig. 9 is about the ratio between telemetry staleness
     and congestion dynamics, which shrinking either side would distort.
-    Only Table I sizes shrink in the default quick configuration."""
+    Only Table I sizes shrink in the default quick configuration.
+
+    ``seed`` defaults to ``base_config.seed`` — it no longer silently
+    overrides a caller-supplied config seed with 0."""
     if scenario not in SCENARIOS:
         raise ExperimentError(f"unknown scenario {scenario!r}; options: {sorted(SCENARIOS)}")
     traffic, size_class = SCENARIOS[scenario]
@@ -93,14 +96,22 @@ def run_probing_sweep(
             policy=POLICY_AWARE,
             scale=scale,
         )
-    out = ProbingSweepResult(scenario=scenario, base_config=base_config)
-    for interval in intervals:
-        config = replace(
+    from repro.runner import Runner, RunSpec
+
+    if runner is None:
+        runner = Runner()
+    base_spec = RunSpec.from_config(
+        replace(
             base_config,
             scenario=traffic,
             size_class=size_class,
-            probing_interval=interval,
-            seed=seed,
+            seed=base_config.seed if seed is None else seed,
         )
-        out.results[interval] = run_experiment(config)
+    )
+    runs = runner.run_grid(
+        base_spec, {"probing_interval": [float(i) for i in intervals]}
+    )
+    out = ProbingSweepResult(scenario=scenario, base_config=base_config)
+    for interval, run in zip(intervals, runs):
+        out.results[interval] = run.experiment_result()
     return out

@@ -21,7 +21,6 @@ from repro.experiments.harness import (
     QUICK_SCALE,
     ExperimentConfig,
     ExperimentResult,
-    run_experiment,
 )
 
 __all__ = ["SensitivityResult", "sweep_k", "sweep_probing_parameter"]
@@ -67,11 +66,42 @@ def _default_config(seed: int) -> ExperimentConfig:
     )
 
 
+def _sweep(
+    parameter: str,
+    values: Sequence[float],
+    base_config: ExperimentConfig,
+    runner,
+) -> SensitivityResult:
+    """One nearest baseline + one aware run per value, all on the Runner.
+
+    The baseline is spec [0] and rides in the same batch as the sweep, so a
+    parallel runner overlaps it with the aware runs and a caching runner
+    shares it across sweeps of different parameters."""
+    from repro.runner import Runner, RunSpec
+
+    if runner is None:
+        runner = Runner()
+    specs = [RunSpec.from_config(replace(base_config, policy=POLICY_NEAREST))]
+    specs.extend(
+        RunSpec.from_config(
+            replace(base_config, policy=POLICY_AWARE, **{parameter: value})
+        )
+        for value in values
+    )
+    runs = runner.run(specs)
+    result = SensitivityResult(parameter=parameter, base_config=base_config)
+    result.nearest = runs[0].experiment_result()
+    for value, run in zip(values, runs[1:]):
+        result.runs[value] = run.experiment_result()
+    return result
+
+
 def sweep_k(
     values: Sequence[float] = (0.0, 0.005, 0.020, 0.080),
     *,
     base_config: ExperimentConfig = None,
     seed: int = 0,
+    runner=None,
 ) -> SensitivityResult:
     """Sweep Algorithm 1's queue->latency conversion factor.
 
@@ -79,15 +109,10 @@ def sweep_k(
     queue blip out-weigh real path-length differences."""
     if base_config is None:
         base_config = _default_config(seed)
-    result = SensitivityResult(parameter="k", base_config=base_config)
-    result.nearest = run_experiment(replace(base_config, policy=POLICY_NEAREST))
     for value in values:
         if value < 0:
             raise ExperimentError(f"k must be >= 0, got {value}")
-        result.runs[value] = run_experiment(
-            replace(base_config, policy=POLICY_AWARE, k=value)
-        )
-    return result
+    return _sweep("k", values, base_config, runner)
 
 
 def sweep_probing_parameter(
@@ -96,6 +121,7 @@ def sweep_probing_parameter(
     *,
     base_config: ExperimentConfig = None,
     seed: int = 0,
+    runner=None,
 ) -> SensitivityResult:
     """Generic sweep over any numeric ExperimentConfig field (e.g.
     ``probing_interval``) against the shared nearest baseline."""
@@ -103,10 +129,4 @@ def sweep_probing_parameter(
         base_config = _default_config(seed)
     if not hasattr(base_config, parameter):
         raise ExperimentError(f"unknown config field {parameter!r}")
-    result = SensitivityResult(parameter=parameter, base_config=base_config)
-    result.nearest = run_experiment(replace(base_config, policy=POLICY_NEAREST))
-    for value in values:
-        result.runs[value] = run_experiment(
-            replace(base_config, policy=POLICY_AWARE, **{parameter: value})
-        )
-    return result
+    return _sweep(parameter, values, base_config, runner)

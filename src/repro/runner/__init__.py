@@ -1,0 +1,51 @@
+"""repro.runner — declarative run specs, pooled execution, result caching.
+
+The evaluation is a grid of independent simulation runs; this package turns
+"run the grid" into data:
+
+* :mod:`repro.runner.spec` — :class:`RunSpec` / :class:`CalibrationSpec`,
+  frozen, JSON-canonical, content-hashed;
+* :mod:`repro.runner.cache` — ``.runcache/<hash>.json`` content-addressed
+  result store;
+* :mod:`repro.runner.runner` — :class:`Runner` (serial or process-pool
+  execution, deterministic either way) and :func:`expand_grid`;
+* :mod:`repro.runner.bench` — the serial/parallel/cached benchmark behind
+  ``repro bench-runner`` (imported lazily; not re-exported here so worker
+  processes don't pay for the experiments import).
+
+Every experiment driver in :mod:`repro.experiments` is a thin grid
+definition over this package.
+"""
+
+from repro.runner.spec import (
+    CalibrationSpec,
+    RunSpec,
+    SPEC_KINDS,
+    canonical_json,
+    content_hash,
+    spec_from_dict,
+)
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.runner import (
+    Runner,
+    RunnerStats,
+    RunResult,
+    execute_spec,
+    expand_grid,
+)
+
+__all__ = [
+    "RunSpec",
+    "CalibrationSpec",
+    "SPEC_KINDS",
+    "spec_from_dict",
+    "canonical_json",
+    "content_hash",
+    "ResultCache",
+    "DEFAULT_CACHE_DIR",
+    "Runner",
+    "RunnerStats",
+    "RunResult",
+    "execute_spec",
+    "expand_grid",
+]

@@ -1,0 +1,126 @@
+"""Runner benchmark: serial vs parallel vs cached on the Fig. 5 grid.
+
+``repro bench-runner`` runs the same policy-comparison grid three ways —
+serially, on a process pool, and against a warm cache — and reports the
+wall-clock for each plus the byte-identity verdict (every cell's payload
+must be identical across all three executions).  CI runs this on a small
+grid as the bench-smoke job; the committed ``BENCH_runner.json`` records a
+full-size data point.
+
+Parallel speedup is bounded by the host's core count (a single-core host
+reports ~1x or below; the numbers are honest, not idealized), while the
+cached pass skips simulation entirely and its speedup is large everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.runner.cache import ResultCache
+from repro.runner.runner import Runner, RunResult, expand_grid
+from repro.runner.spec import RunSpec
+
+__all__ = ["bench_grid_specs", "run_bench"]
+
+
+def bench_grid_specs(scale: str = "smoke", seed: int = 0) -> List[RunSpec]:
+    """The Fig. 5 grid (serverless workload, delay ranking): every size
+    class x every policy at the requested scale."""
+    from repro.experiments.comparison import (
+        ALL_CLASSES,
+        DEFAULT_POLICIES,
+        FIG5_CONFIG,
+    )
+    from repro.experiments.harness import FULL_SCALE, QUICK_SCALE, SMOKE_SCALE
+
+    scales = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
+    base = RunSpec.from_config(
+        replace(FIG5_CONFIG, scale=scales[scale], seed=seed)
+    )
+    return expand_grid(
+        base,
+        {
+            "size_class": [c.label for c in ALL_CLASSES],
+            "policy": list(DEFAULT_POLICIES),
+        },
+    )
+
+
+def _diverging_cells(
+    reference: List[RunResult], candidate: List[RunResult]
+) -> List[str]:
+    out = []
+    for ref, cand in zip(reference, candidate):
+        if ref.payload_json() != cand.payload_json():
+            out.append(ref.spec.label())
+    return out
+
+
+def run_bench(
+    *,
+    scale: str = "smoke",
+    jobs: int = 2,
+    seed: int = 0,
+    cache_root: str,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Time the grid serial / parallel / cached; return the report dict.
+
+    ``cache_root`` is used for the cached pass only (pre-populated from the
+    serial results, then timed).  The report's ``byte_identical`` is the
+    headline correctness claim: parallel and cached payloads must match the
+    serial ones byte for byte."""
+    specs = bench_grid_specs(scale, seed)
+    say = progress if progress is not None else (lambda _line: None)
+
+    say(f"serial: {len(specs)} runs ...")
+    serial_runner = Runner(jobs=1)
+    t0 = time.perf_counter()
+    serial = serial_runner.run(specs)
+    serial_s = time.perf_counter() - t0
+
+    say(f"parallel: {len(specs)} runs on {jobs} workers ...")
+    parallel_runner = Runner(jobs=jobs)
+    t0 = time.perf_counter()
+    parallel = parallel_runner.run(specs)
+    parallel_s = time.perf_counter() - t0
+
+    say("cached: warm-cache re-run ...")
+    cache = ResultCache(cache_root)
+    for result in serial:
+        cache.put(result.spec_hash, result.to_json().encode("utf-8"))
+    cached_runner = Runner(jobs=1, cache=cache)
+    t0 = time.perf_counter()
+    cached = cached_runner.run(specs)
+    cached_s = time.perf_counter() - t0
+
+    diverging = sorted(
+        set(_diverging_cells(serial, parallel))
+        | set(_diverging_cells(serial, cached))
+    )
+    return {
+        "grid": {
+            "figure": "fig5",
+            "scale": scale,
+            "seed": seed,
+            "runs": len(specs),
+        },
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "parallel_jobs": jobs,
+        "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "cached_s": round(cached_s, 3),
+        "cached_speedup": round(serial_s / cached_s, 3) if cached_s else None,
+        "cache_hits": cached_runner.stats.cache_hits,
+        "byte_identical": not diverging,
+        "diverging_cells": diverging,
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "platform": sys.platform,
+        },
+    }

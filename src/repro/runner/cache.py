@@ -1,0 +1,112 @@
+"""Content-addressed, on-disk result cache.
+
+Each completed run is stored as ``<root>/<spec-hash>.json`` — the full
+:class:`~repro.runner.runner.RunResult` envelope, byte-for-byte.  The spec
+hash covers everything that can change the output (including fault-plan
+*contents* and calibration-curve knots), so a hit can be trusted blindly and
+a repeated sweep skips every already-computed cell.
+
+Writes are atomic (temp file + rename) so a killed sweep never leaves a
+truncated entry; reads validate that the stored envelope names the hash it
+is filed under and treat anything corrupt as a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import List, Optional
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]
+
+DEFAULT_CACHE_DIR = ".runcache"
+
+
+class ResultCache:
+    """A directory of ``<spec-hash>.json`` result envelopes."""
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, spec_hash: str) -> str:
+        return os.path.join(self.root, f"{spec_hash}.json")
+
+    def get(self, spec_hash: str) -> Optional[bytes]:
+        """The exact bytes stored for ``spec_hash``, or None on a miss.
+
+        Returning the raw bytes (rather than a parsed object) is the cache's
+        contract: a hit is byte-identical to what the original run wrote."""
+        try:
+            with open(self.path(spec_hash), "rb") as fh:
+                data = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            envelope = json.loads(data)
+        except json.JSONDecodeError:
+            self.misses += 1
+            return None
+        if not isinstance(envelope, dict) or envelope.get("spec_hash") != spec_hash:
+            # Filed under the wrong name or hand-edited: recompute.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def put(self, spec_hash: str, data: bytes) -> None:
+        """Atomically store ``data`` as the entry for ``spec_hash``."""
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, self.path(spec_hash))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> List[str]:
+        """Spec hashes currently cached (sorted)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(".json")] for name in names if name.endswith(".json")
+        )
+
+    def size_bytes(self) -> int:
+        total = 0
+        for spec_hash in self.entries():
+            try:
+                total += os.path.getsize(self.path(spec_hash))
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for spec_hash in self.entries():
+            try:
+                os.unlink(self.path(spec_hash))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultCache root={self.root!r} entries={len(self)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

@@ -1,0 +1,419 @@
+"""The Runner: grid expansion, pooled execution, and result envelopes.
+
+The paper's evaluation is a grid of independent simulation runs — policy ×
+size class × seed × probing interval × fault scenario.  The Runner executes
+any list of specs (see :mod:`repro.runner.spec`) either serially or on a
+``ProcessPoolExecutor``, with:
+
+* **per-run process isolation** — workers use the ``spawn`` start method
+  (no inherited parent state) and, where the interpreter supports it, one
+  process per run;
+* **determinism** — a run's payload depends only on its spec; serial and
+  parallel executions of the same grid produce byte-identical payloads
+  (asserted by ``repro bench-runner`` and the CI bench-smoke job);
+* **content-addressed caching** — completed envelopes land in
+  ``.runcache/<hash>.json`` and repeated sweeps skip already-computed cells;
+* **progress/ETA** — wall-clock progress lines via a callback plus metrics
+  and events on an optional :class:`repro.obs.Observability` hub.
+
+Every experiment driver (comparison, fault scenarios, probing sweep,
+sensitivity, calibration, ECDF) is a thin grid definition over this module.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.runner.cache import ResultCache
+from repro.runner.spec import (
+    CalibrationSpec,
+    RunSpec,
+    canonical_json,
+    spec_from_dict,
+)
+from repro.simnet.random import derive_seed
+
+__all__ = [
+    "RunResult",
+    "Runner",
+    "RunnerStats",
+    "expand_grid",
+    "execute_spec",
+]
+
+
+# ---------------------------------------------------------------------------
+# Result envelope
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunResult:
+    """One completed run: payload plus provenance, content-addressed.
+
+    ``payload`` is the deterministic part (metrics, per-task records, obs
+    exports) — byte-identical across serial/parallel/cached executions of
+    the same spec.  ``provenance`` records how this particular execution
+    happened (code version, wall time, executor) and is excluded from
+    determinism comparisons.  ``raw`` holds the exact cached bytes when the
+    result came off disk."""
+
+    spec: Any
+    spec_hash: str
+    payload: Dict[str, Any]
+    provenance: Dict[str, Any] = field(default_factory=dict)
+    from_cache: bool = False
+    raw: Optional[bytes] = None
+
+    def payload_json(self) -> str:
+        """Canonical JSON of the deterministic payload."""
+        return canonical_json(self.payload)
+
+    def to_envelope(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec_hash,
+            "payload": self.payload,
+            "provenance": self.provenance,
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_envelope())
+
+    @classmethod
+    def from_envelope(
+        cls,
+        envelope: Dict[str, Any],
+        *,
+        from_cache: bool = False,
+        raw: Optional[bytes] = None,
+    ) -> "RunResult":
+        return cls(
+            spec=spec_from_dict(envelope["spec"]),
+            spec_hash=envelope["spec_hash"],
+            payload=envelope["payload"],
+            provenance=dict(envelope.get("provenance", {})),
+            from_cache=from_cache,
+            raw=raw,
+        )
+
+    # -- typed views -------------------------------------------------------
+
+    def experiment_result(self) -> Any:
+        """Rebuild the full :class:`ExperimentResult` for this cell."""
+        from repro.experiments.export import result_from_dict
+
+        if not isinstance(self.spec, RunSpec):
+            raise ExperimentError(
+                f"spec kind {type(self.spec).__name__} is not an experiment"
+            )
+        return result_from_dict(self.payload, self.spec.to_config())
+
+    def calibration_point(self) -> Any:
+        from repro.experiments.calibration import CalibrationPoint
+
+        if not isinstance(self.spec, CalibrationSpec):
+            raise ExperimentError(
+                f"spec kind {type(self.spec).__name__} is not a calibration run"
+            )
+        return CalibrationPoint(**self.payload["calibration"])
+
+    def obs_records(self) -> List[Dict[str, Any]]:
+        """Observability records captured by this run ([] for plain runs)."""
+        return list(self.payload.get("obs_records", ()))
+
+
+# ---------------------------------------------------------------------------
+# Spec execution (runs in the worker process)
+# ---------------------------------------------------------------------------
+
+def execute_spec(spec: Any) -> Dict[str, Any]:
+    """Execute one spec and return its deterministic payload."""
+    if isinstance(spec, RunSpec):
+        from repro.experiments.export import result_to_dict
+        from repro.experiments.harness import run_experiment
+
+        obs = None
+        labels = spec.obs_run()
+        if labels is not None:
+            from repro.obs import Observability
+
+            obs = Observability(run=labels)
+        result = run_experiment(spec.to_config(), obs=obs)
+        payload = result_to_dict(result, include_tasks=True)
+        if obs is not None:
+            payload["obs_records"] = obs.snapshot_records()
+        return payload
+    if isinstance(spec, CalibrationSpec):
+        from dataclasses import asdict
+
+        from repro.experiments.calibration import run_calibration
+
+        point = run_calibration(
+            spec.utilization,
+            duration=spec.duration,
+            rate_bps=spec.rate_bps,
+            link_delay=spec.link_delay,
+            probing_interval=spec.probing_interval,
+            seed=spec.seed,
+        )
+        return {"calibration": asdict(point)}
+    raise ExperimentError(f"cannot execute spec of type {type(spec).__name__}")
+
+
+def _execute_envelope_json(spec_json: str) -> str:
+    """Worker entry point: spec JSON in, canonical envelope JSON out.
+
+    Serial and pooled execution share this function so their envelopes are
+    produced by the same code path; only ``provenance.wall_time_s`` (and the
+    executor tag the parent stamps) can differ between them."""
+    import repro
+
+    spec = spec_from_dict(json.loads(spec_json))
+    started = time.monotonic()
+    payload = execute_spec(spec)
+    wall = time.monotonic() - started
+    envelope = {
+        "spec": spec.to_dict(),
+        "spec_hash": spec.content_hash(),
+        "payload": payload,
+        "provenance": {
+            "code_version": repro.__version__,
+            "wall_time_s": round(wall, 6),
+        },
+    }
+    return canonical_json(envelope)
+
+
+# ---------------------------------------------------------------------------
+# Grid expansion
+# ---------------------------------------------------------------------------
+
+def expand_grid(
+    base: Any,
+    axes: Optional[Mapping[str, Sequence[Any]]] = None,
+    *,
+    repeats: Optional[int] = None,
+    master_seed: Optional[int] = None,
+) -> List[Any]:
+    """Cross-product a base spec with per-field value lists.
+
+    ``axes`` maps spec field names to the values to sweep (e.g.
+    ``{"size_class": ["VS", "S"], "policy": ["aware", "nearest"]}``); axis
+    order fixes expansion order, so grids are deterministic.  ``repeats``
+    replaces each cell with ``repeats`` copies whose seeds derive from
+    ``derive_seed(master_seed, "repeat:<i>")`` — a function of the master
+    seed and repeat index only, so every policy (and any future axis) sees
+    the same per-repeat seeds no matter how the grid is ordered."""
+    axes = dict(axes or {})
+    names = list(axes)
+    cells: List[Any] = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        cells.append(base.with_(**dict(zip(names, combo))))
+    if repeats is None:
+        return cells
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1, got {repeats}")
+    root = master_seed if master_seed is not None else base.seed
+    out: List[Any] = []
+    for cell in cells:
+        for i in range(repeats):
+            out.append(cell.with_(seed=derive_seed(root, f"repeat:{i}")))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunnerStats:
+    """Wall-clock accounting for one :meth:`Runner.run` call."""
+
+    total: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    wall_time_s: float = 0.0
+
+
+class Runner:
+    """Execute spec lists serially or on a process pool, with caching.
+
+    ``jobs=1`` runs in-process (no pool, no pickling).  ``jobs>1`` fans out
+    over ``spawn``-started worker processes — one run per process where the
+    interpreter supports ``max_tasks_per_child`` — so no run ever observes
+    another's interpreter state.  ``cache`` (a :class:`ResultCache`) makes
+    completed cells free on re-run.  ``progress`` receives one human line
+    per completed run including an ETA; ``obs`` (a
+    :class:`repro.obs.Observability`) additionally records runner metrics
+    and per-run events."""
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[str], None]] = None,
+        obs: Optional[Any] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.progress = progress
+        self.obs = obs
+        if obs is not None:
+            started = time.monotonic()
+            clock = lambda: time.monotonic() - started  # noqa: E731
+            obs.metrics.bind_clock(clock)
+            obs.events.bind_clock(clock)
+        self.stats = RunnerStats()
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, specs: Sequence[Any]) -> List[RunResult]:
+        """Execute every spec; results come back in spec order.
+
+        Duplicate specs (same content hash) execute once and share their
+        result object."""
+        started = time.monotonic()
+        hashes = [spec.content_hash() for spec in specs]
+        stats = RunnerStats(total=len(specs))
+        results: Dict[str, RunResult] = {}
+
+        # Unique work, in first-appearance order.
+        unique: Dict[str, Any] = {}
+        for spec, spec_hash in zip(specs, hashes):
+            unique.setdefault(spec_hash, spec)
+
+        pending: List[str] = []
+        done = 0
+        for spec_hash, spec in unique.items():
+            cached = self.cache.get(spec_hash) if self.cache is not None else None
+            if cached is not None:
+                results[spec_hash] = RunResult.from_envelope(
+                    json.loads(cached), from_cache=True, raw=cached
+                )
+                stats.cache_hits += 1
+                done += 1
+                self._report(spec, spec_hash, done, len(unique), started, cached=True)
+            else:
+                pending.append(spec_hash)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                executor_tag = "process-pool"
+                envelope_jsons = self._run_pool(
+                    [(h, unique[h]) for h in pending],
+                    done_offset=done,
+                    total=len(unique),
+                    started=started,
+                )
+            else:
+                executor_tag = "serial"
+                envelope_jsons = {}
+                for spec_hash in pending:
+                    spec = unique[spec_hash]
+                    envelope_jsons[spec_hash] = _execute_envelope_json(
+                        canonical_json(spec.to_dict())
+                    )
+                    done += 1
+                    self._report(spec, spec_hash, done, len(unique), started)
+            for spec_hash, envelope_json in envelope_jsons.items():
+                envelope = json.loads(envelope_json)
+                envelope["provenance"]["executor"] = executor_tag
+                result = RunResult.from_envelope(envelope)
+                results[spec_hash] = result
+                stats.executed += 1
+                if self.cache is not None:
+                    self.cache.put(spec_hash, result.to_json().encode("utf-8"))
+
+        stats.wall_time_s = time.monotonic() - started
+        self.stats = stats
+        if self.obs is not None:
+            self.obs.metrics.gauge("runner_wall_time_seconds").set(stats.wall_time_s)
+        return [results[spec_hash] for spec_hash in hashes]
+
+    def run_grid(
+        self,
+        base: Any,
+        axes: Optional[Mapping[str, Sequence[Any]]] = None,
+        **expand_kwargs: Any,
+    ) -> List[RunResult]:
+        """`expand_grid` + `run` in one call."""
+        return self.run(expand_grid(base, axes, **expand_kwargs))
+
+    # -- internals ---------------------------------------------------------
+
+    def _run_pool(
+        self,
+        work: List[Any],
+        *,
+        done_offset: int,
+        total: int,
+        started: float,
+    ) -> Dict[str, str]:
+        """Fan pending specs out over spawn-started worker processes."""
+        pool_kwargs: Dict[str, Any] = {}
+        import multiprocessing
+
+        pool_kwargs["mp_context"] = multiprocessing.get_context("spawn")
+        if sys.version_info >= (3, 11):
+            # One run per worker process: full interpreter isolation.
+            pool_kwargs["max_tasks_per_child"] = 1
+        out: Dict[str, str] = {}
+        done = done_offset
+        with ProcessPoolExecutor(max_workers=self.jobs, **pool_kwargs) as pool:
+            futures = {
+                pool.submit(
+                    _execute_envelope_json, canonical_json(spec.to_dict())
+                ): (spec_hash, spec)
+                for spec_hash, spec in work
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    spec_hash, spec = futures[future]
+                    out[spec_hash] = future.result()  # re-raises worker errors
+                    done += 1
+                    self._report(spec, spec_hash, done, total, started)
+        return out
+
+    def _report(
+        self,
+        spec: Any,
+        spec_hash: str,
+        done: int,
+        total: int,
+        started: float,
+        *,
+        cached: bool = False,
+    ) -> None:
+        elapsed = time.monotonic() - started
+        eta = (elapsed / done) * (total - done) if done else 0.0
+        if self.obs is not None:
+            self.obs.metrics.counter("runner_runs_total").inc()
+            if cached:
+                self.obs.metrics.counter("runner_cache_hits_total").inc()
+            self.obs.metrics.gauge("runner_eta_seconds").set(eta)
+            self.obs.events.emit(
+                "runner_run_completed",
+                label=spec.label(),
+                spec_hash=spec_hash[:12],
+                cached=cached,
+                done=done,
+                total=total,
+            )
+        if self.progress is not None:
+            tag = "cache" if cached else "run"
+            self.progress(
+                f"[{done}/{total}] {tag:<5} {spec.label()} "
+                f"({elapsed:.1f}s elapsed, eta {eta:.0f}s)"
+            )

@@ -164,7 +164,15 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stop_requested:
-            if max_events is None or executed < max_events:
+            # Jump to the window edge only when no runnable event at or
+            # before ``until`` was left behind.  Checking the heap directly
+            # (rather than whether the event budget tripped the break) keeps
+            # the clock honest in the corner cases: a budget that runs out
+            # exactly as the queue drains may still jump, while a budget
+            # exhausted with work pending must not skip over it.
+            if not any(
+                t <= until and not h.cancelled for t, _s, h in self._heap
+            ):
                 self._now = until
 
     def stop(self) -> None:

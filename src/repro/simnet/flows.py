@@ -48,6 +48,13 @@ MSS = MTU - HEADER_OVERHEAD  # payload bytes per full segment
 _flow_ids = itertools.count(1)
 
 
+def reset_flow_ids() -> None:
+    """Restart flow id allocation at 1 (fresh-run determinism; see
+    :func:`repro.edge.task.reset_ids`)."""
+    global _flow_ids
+    _flow_ids = itertools.count(1)
+
+
 # ---------------------------------------------------------------------------
 # UDP constant-bit-rate (iperf)
 # ---------------------------------------------------------------------------

@@ -50,6 +50,13 @@ HEADER_OVERHEAD = 40      # bytes of L2/L3/L4 headers accounted in every frame
 _packet_ids = itertools.count(1)
 
 
+def reset_packet_ids() -> None:
+    """Restart packet id allocation at 1 (fresh-run determinism; see
+    :func:`repro.edge.task.reset_ids`)."""
+    global _packet_ids
+    _packet_ids = itertools.count(1)
+
+
 class Packet:
     """One frame in flight.  Mutable only where the data plane mutates real
     packets (payload growth for probes, TTL decrement)."""

@@ -12,12 +12,45 @@ perturbing the workload.
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 from typing import Dict
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "derive_seed", "run_streams"]
+
+# The named per-run sub-streams every experiment derives from its root seed.
+# Pairing depends on the *names* staying stable: "workload" and "background"
+# must draw identically across policy runs of the same seed, while policy-
+# private streams ("random_policy") may burn randomness freely.
+STREAM_WORKLOAD = "workload"
+STREAM_BACKGROUND = "background"
+STREAM_FAULTS = "faults"
+STREAM_RANDOM_POLICY = "random_policy"
+STREAM_IPERF = "iperf"
+
+
+def derive_seed(master_seed: int, key: str) -> int:
+    """Deterministic 31-bit seed from a master seed and a stable string key.
+
+    This is the one place run seeds are derived from grid-level master
+    seeds: ``derive_seed(master, f"repeat:{i}")`` gives every repeat of a
+    sweep its own root, independent of the order cells are expanded or
+    executed in (policy order cannot perturb it, because the key never
+    includes the policy)."""
+    digest = hashlib.sha256(f"{master_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+def run_streams(seed: int) -> "RandomStreams":
+    """The canonical per-run stream family.
+
+    Every experiment driver — harness runs, calibration, fault scenarios —
+    builds its streams through this helper so workload/background/faults/
+    jitter draws are derived identically everywhere: one root seed, named
+    sub-streams, no driver-local reimplementation."""
+    return RandomStreams(int(seed))
 
 
 class RandomStreams:

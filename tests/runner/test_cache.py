@@ -1,0 +1,85 @@
+"""Content-addressed result cache: exact bytes, atomicity, invalidation."""
+
+import json
+import os
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import canonical_json, content_hash
+
+
+def _envelope_bytes(spec_hash, payload=None):
+    return canonical_json(
+        {"spec_hash": spec_hash, "payload": payload or {"x": 1}}
+    ).encode("utf-8")
+
+
+class TestCacheBasics:
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        assert cache.get("a" * 64) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_put_get_exact_bytes(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        h = content_hash({"spec": 1})
+        data = _envelope_bytes(h)
+        cache.put(h, data)
+        assert cache.get(h) == data
+        assert cache.hits == 1
+
+    def test_put_overwrites(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        h = "b" * 64
+        cache.put(h, _envelope_bytes(h, {"v": 1}))
+        newer = _envelope_bytes(h, {"v": 2})
+        cache.put(h, newer)
+        assert cache.get(h) == newer
+
+    def test_entries_len_size_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        hashes = sorted("%064x" % i for i in range(3))
+        for h in hashes:
+            cache.put(h, _envelope_bytes(h))
+        assert cache.entries() == hashes
+        assert len(cache) == 3
+        assert cache.size_bytes() == sum(
+            len(_envelope_bytes(h)) for h in hashes
+        )
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestCacheIntegrity:
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        h = "c" * 64
+        cache.put(h, _envelope_bytes(h))
+        with open(cache.path(h), "w") as fh:
+            fh.write("{truncated")
+        assert cache.get(h) is None
+
+    def test_misfiled_entry_is_a_miss(self, tmp_path):
+        # An envelope stored under a hash it doesn't claim is not trusted.
+        cache = ResultCache(str(tmp_path))
+        wrong = "d" * 64
+        cache.put(wrong, _envelope_bytes("e" * 64))
+        assert cache.get(wrong) is None
+
+    def test_non_dict_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        h = "f" * 64
+        cache.put(h, b"[1,2,3]")
+        assert cache.get(h) is None
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        h = "a" * 64
+        cache.put(h, _envelope_bytes(h))
+        assert [n for n in os.listdir(str(tmp_path)) if n.endswith(".tmp")] == []
+
+    def test_stored_file_is_valid_json(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        h = "9" * 64
+        cache.put(h, _envelope_bytes(h))
+        with open(cache.path(h)) as fh:
+            assert json.load(fh)["spec_hash"] == h

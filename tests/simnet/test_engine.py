@@ -210,3 +210,47 @@ class TestPeriodicTimer:
         timer.start()
         sim.run(until=2.5)
         assert log == ["tick", "tick"]
+
+
+class TestClockUnderEventBudget:
+    """Regression: ``run(until=, max_events=)`` must not jump the clock to
+    ``until`` when the event budget cut execution short with runnable work
+    still pending inside the window."""
+
+    def test_budget_exhausted_does_not_jump(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run(until=10.0, max_events=2)
+        assert sim.now == 2.0  # event at 3.0 is still pending, not skipped
+
+    def test_budget_exhausted_exactly_at_drain_still_jumps(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=5.0, max_events=1)
+        assert sim.now == 5.0  # queue is empty: the window completes
+
+    def test_pending_cancelled_event_does_not_block_jump(self, sim):
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        sim.cancel(handle)
+        sim.run(until=5.0, max_events=1)
+        assert sim.now == 5.0
+
+    def test_pending_event_beyond_until_does_not_block_jump(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        sim.run(until=5.0, max_events=1)
+        assert sim.now == 5.0
+
+    def test_resumed_run_executes_the_left_behind_work(self, sim):
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: log.append(t))
+        sim.run(until=10.0, max_events=2)
+        sim.run(until=10.0)
+        assert log == [1.0, 2.0, 3.0]
+        assert sim.now == 10.0
+
+    def test_stop_requested_does_not_jump(self, sim):
+        sim.schedule(1.0, sim.stop)
+        sim.run(until=5.0)
+        assert sim.now == 1.0

@@ -140,3 +140,53 @@ def test_compare_with_faults_flag(capsys, tmp_path):
     ])
     assert rc == 0
     assert "gain vs nearest" in out.read_text()
+
+
+def test_parser_accepts_runner_flags():
+    args = build_parser().parse_args([
+        "compare", "--scale", "smoke", "--jobs", "4", "--cache",
+        "--cache-dir", "/tmp/rc",
+    ])
+    assert args.jobs == 4 and args.cache and args.cache_dir == "/tmp/rc"
+    args = build_parser().parse_args(["compare", "--no-cache"])
+    assert not args.cache
+
+
+def test_compare_with_cache_reuses_results(capsys, tmp_path):
+    cache_dir = tmp_path / "rc"
+    argv = [
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--cache", "--cache-dir", str(cache_dir),
+    ]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert len(list(cache_dir.glob("*.json"))) == 3  # one per policy
+    assert main(argv) == 0
+    captured = capsys.readouterr()
+    warm = captured.out
+    assert warm == cold  # cached rerun reproduces the report exactly
+    assert "cache" in captured.err  # progress lines mention the hits
+
+
+def test_cache_command_lists_and_clears(capsys, tmp_path):
+    from repro.runner import ResultCache
+    from repro.runner.spec import canonical_json
+
+    cache_dir = tmp_path / "rc"
+    cache = ResultCache(str(cache_dir))
+    h = "a" * 64
+    cache.put(h, canonical_json({"spec_hash": h, "payload": {}}).encode())
+
+    assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "1 entries" in out and h in out
+
+    assert main(["cache", "--clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "cleared 1" in capsys.readouterr().out
+    assert list(cache_dir.glob("*.json")) == []
+
+
+def test_faults_run_accepts_jobs_flag(capsys):
+    rc = main(["faults", "--run", "probe-blackout", "--scale", "smoke"])
+    assert rc == 0
+    assert "scenario: probe-blackout" in capsys.readouterr().out
