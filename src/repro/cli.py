@@ -8,13 +8,17 @@ Commands map one-to-one onto the experiment harnesses:
 * ``reproduce`` — everything, in paper order (Fig. 3, 5, 6, 7, 8, 9);
 * ``faults``    — list/show/run fault-injection scenarios (robustness);
 * ``obs-report`` — summarize an observability export (``--obs-out`` file);
+* ``trace-report`` — summarize a causal span export (``--trace-out`` file);
 * ``bench-runner`` — time the Fig. 5 grid serial vs parallel vs cached;
 * ``cache``     — inspect or clear the on-disk run cache.
 
 Every experiment command executes its grid on :class:`repro.runner.Runner`:
 ``--jobs N`` fans runs out over worker processes (results are byte-identical
 to serial), ``--cache`` reuses ``.runcache/`` results from previous
-invocations, and ``--cache-dir`` relocates the cache.
+invocations, and ``--cache-dir`` relocates the cache.  ``--trace-out PATH``
+captures causal span traces (task / probe / scheduler-decision lifecycles)
+as JSONL, and ``--profile`` prints the engine's per-event-type hot-path
+profile after the grid completes.
 
 All output is plain text tables (`repro.experiments.report`); ``--out``
 additionally writes the report to a file.  ``--obs-out PATH`` (``compare``
@@ -110,6 +114,16 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", type=str, default=None, metavar="DIR",
         help="run-cache directory (default: .runcache; implies --cache)",
     )
+    parser.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="capture causal span traces (task/probe/scheduler-decision "
+             "lifecycles) to a JSONL file; see the trace-report command",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the simulation engine (per-event-type counts and "
+             "handler wall-time) and print the merged summary",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace):
@@ -123,7 +137,33 @@ def _runner_from_args(args: argparse.Namespace):
     progress = None
     if getattr(args, "jobs", 1) > 1 or cache is not None:
         progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
-    return Runner(jobs=getattr(args, "jobs", 1), cache=cache, progress=progress)
+    return Runner(
+        jobs=getattr(args, "jobs", 1),
+        cache=cache,
+        progress=progress,
+        trace=bool(getattr(args, "trace_out", None)),
+        profile=bool(getattr(args, "profile", False)),
+    )
+
+
+def _finish_runner(reporter: "_Reporter", args: argparse.Namespace, runner) -> None:
+    """Flush a runner's accumulated instrumentation: write the --trace-out
+    span export and print the merged --profile summary."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        from repro.obs.export import write_jsonl
+
+        total = write_jsonl(runner.trace_records, trace_out)
+        reporter.emit(
+            f"traces: {total} span records written to {trace_out} "
+            f"(summarize with: repro trace-report {trace_out})"
+        )
+    if getattr(args, "profile", False):
+        from repro.simnet.engine import render_profile
+
+        summary = runner.profile_summary()
+        if summary is not None:
+            reporter.emit(render_profile(summary))
 
 
 def _add_faults(parser: argparse.ArgumentParser) -> None:
@@ -195,12 +235,14 @@ def _warn_obs_unsupported(reporter: _Reporter, args: argparse.Namespace) -> None
 def cmd_calibrate(args: argparse.Namespace) -> int:
     reporter = _Reporter(args.out)
     _warn_obs_unsupported(reporter, args)
+    runner = _runner_from_args(args)
     points = run_calibration_sweep(
         tuple(args.levels), duration=args.duration, seed=args.seed,
-        runner=_runner_from_args(args),
+        runner=runner,
     )
     reporter.emit("Fig. 3 — max queue depth & RTT vs utilization")
     reporter.emit(render_calibration(points))
+    _finish_runner(reporter, args, runner)
     reporter.close()
     return 0
 
@@ -211,16 +253,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
     config = replace(base, scale=SCALES[args.scale], seed=args.seed)
     config = _apply_faults(config, args)
     classes = tuple(_CLASSES[c] for c in args.classes)
+    runner = _runner_from_args(args)
     comparison = run_comparison(
         config,
         size_classes=classes,
         policies=(POLICY_AWARE, POLICY_NEAREST, POLICY_RANDOM),
         obs_labels=_obs_labels(args.obs_out, figure=args.figure),
-        runner=_runner_from_args(args),
+        runner=runner,
     )
     reporter.emit(f"{args.figure} — policy comparison ({measure} time)")
     reporter.emit(render_comparison(comparison, measure=measure))
     _write_obs(reporter, args.obs_out, comparison.obs_records)
+    _finish_runner(reporter, args, runner)
     reporter.close()
     return 0
 
@@ -237,6 +281,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     ]
     reporter.emit("Fig. 9 — probing interval vs mean transfer time")
     reporter.emit(render_probing_sweep(sweeps))
+    _finish_runner(reporter, args, runner)
     reporter.close()
     return 0
 
@@ -262,6 +307,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
     for value, gain in result.series():
         reporter.emit(f"  {args.parameter} = {value:g}: gain {gain:+.1f}%")
     reporter.emit(f"best value: {result.best_value():g}")
+    _finish_runner(reporter, args, runner)
     reporter.close()
     return 0
 
@@ -317,6 +363,7 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
         for name in ("traffic1", "traffic2")
     ]
     reporter.emit(render_probing_sweep(sweeps))
+    _finish_runner(reporter, args, runner)
     reporter.emit(f"\nwall-clock: {time.time() - started:.0f}s")
     reporter.close()
     return 0
@@ -338,10 +385,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if args.run:
         plan = resolve_plan(args.run)
         config = ExperimentConfig(scale=SCALES[args.scale], seed=args.seed)
-        rows = compare_degradation(
-            plan, base_config=config, runner=_runner_from_args(args)
-        )
+        runner = _runner_from_args(args)
+        rows = compare_degradation(plan, base_config=config, runner=runner)
         reporter.emit(render_fault_comparison(plan, rows))
+        _finish_runner(reporter, args, runner)
         reporter.close()
         # CI contract: a scenario where a *degraded* policy completes zero
         # tasks means graceful degradation is broken — fail loudly.
@@ -373,6 +420,7 @@ def cmd_bench_runner(args: argparse.Namespace) -> int:
         seed=args.seed,
         cache_root=args.cache_dir or DEFAULT_CACHE_DIR,
         progress=lambda line: print(line, file=sys.stderr),
+        profile=args.profile,
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -422,6 +470,33 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     reporter = _Reporter(args.out)
     reporter.emit(f"observability report — {args.path}")
     reporter.emit(render_obs_report(records))
+    reporter.close()
+    return 0
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import read_jsonl
+    from repro.obs.tracing import render_trace_report, write_chrome_trace
+
+    try:
+        records = read_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not JSONL: {exc}", file=sys.stderr)
+        return 2
+    reporter = _Reporter(args.out)
+    reporter.emit(f"trace report — {args.path}")
+    reporter.emit(render_trace_report(records))
+    if args.chrome:
+        n = write_chrome_trace(records, args.chrome)
+        reporter.emit(
+            f"chrome trace: {n} events written to {args.chrome} "
+            f"(open in Perfetto: https://ui.perfetto.dev)"
+        )
     reporter.close()
     return 0
 
@@ -504,6 +579,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bench-out", type=str, default=None, metavar="PATH",
                    help="also write the JSON report to PATH "
                         "(e.g. BENCH_runner.json)")
+    p.add_argument("--profile", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="include the merged engine profile in the report "
+                        "(default: --profile)")
     p.set_defaults(fn=cmd_bench_runner)
 
     p = sub.add_parser("cache", help="inspect or clear the run cache")
@@ -515,6 +594,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", help="JSONL file written via --obs-out")
     p.add_argument("--out", type=str, default=None)
     p.set_defaults(fn=cmd_obs_report)
+
+    p = sub.add_parser(
+        "trace-report",
+        help="summarize a --trace-out span export (critical-path delay "
+             "decomposition vs the Algorithm-1 estimate)",
+    )
+    p.add_argument("path", help="JSONL file written via --trace-out")
+    p.add_argument("--chrome", type=str, default=None, metavar="PATH",
+                   help="also convert the spans to Chrome trace-event JSON "
+                        "(loadable in Perfetto / chrome://tracing)")
+    p.add_argument("--out", type=str, default=None)
+    p.set_defaults(fn=cmd_trace_report)
 
     return parser
 

@@ -87,6 +87,11 @@ class SchedulerService:
         if not (isinstance(msg, tuple) and len(msg) == 3 and msg[0] == "sched_query"):
             return
         _tag, request_id, metric = msg
+        obs = self.host.sim.obs
+        if obs:
+            trace = getattr(obs, "trace", None)
+            if trace is not None:
+                trace.decision_query(request_id)
         self.host.sim.schedule(
             self.processing_delay,
             self._respond,
@@ -104,6 +109,8 @@ class SchedulerService:
         obs = self.host.sim.obs
         if obs:
             self._audit_decision(obs, requester_addr, metric, ranking)
+            if getattr(obs, "trace", None) is not None:
+                self._trace_decision(obs, requester_addr, metric, ranking, request_id)
         response = self.host.new_packet(
             requester_addr,
             protocol=PROTO_UDP,
@@ -138,6 +145,22 @@ class SchedulerService:
             metric=metric,
             candidates=candidates,
             chosen_addr=chosen,
+        )
+
+    def _trace_decision(
+        self, obs, requester_addr: int, metric: str, ranking, request_id: int
+    ) -> None:
+        """Stage this decision for the requesting task's causal trace (the
+        ``scheduler_decision`` child span).  The base record is the decision
+        shape; the network-aware subclass adds the telemetry freshness the
+        ranking was computed from."""
+        chosen = ranking[0][0] if ranking and metric != METRIC_RAW else None
+        obs.trace.decision(
+            request_id,
+            scheduler=type(self).__name__,
+            metric=metric,
+            chosen_addr=chosen,
+            candidates=len(ranking),
         )
 
     # -- policy (override) ------------------------------------------------------
@@ -310,6 +333,57 @@ class NetworkAwareScheduler(SchedulerService):
             metric=metric,
             candidates=candidates,
             chosen_addr=chosen,
+        )
+
+    def _trace_decision(
+        self, obs, requester_addr: int, metric: str, ranking, request_id: int
+    ) -> None:
+        """Base decision shape plus the Algorithm-1 estimate for the chosen
+        candidate and the telemetry snapshot age per hop of its path — the
+        staleness the ranking was actually computed from."""
+        from repro.core.ranking import explain_delay
+
+        chosen = ranking[0][0] if ranking and metric != METRIC_RAW else None
+        estimated = None
+        truth_delay = None
+        hop_ages: List[Dict[str, object]] = []
+        ages: List[float] = []
+        if chosen is not None:
+            origin = host_node(requester_addr)
+            node = host_node(chosen)
+            detail = explain_delay(self.delay_estimator, origin, node)
+            estimated = detail["value"] if math.isfinite(detail["value"]) else None
+            if obs.ground_truth is not None:
+                truth_delay = obs.ground_truth.true_delay_between(
+                    requester_addr, chosen
+                )
+            now = self.host.sim.now
+            try:
+                path = self.store.topology.path(origin, node)
+            except SchedulingError:
+                path = []
+            for u, v in zip(path, path[1:]):
+                state = self.store.link_state(u, v)
+                age = None
+                if state is not None:
+                    # updated_at defaults to -1.0 until the first report.
+                    updated = max(state.latency_updated_at, state.qdepth_updated_at)
+                    if updated >= 0.0:
+                        age = now - updated
+                        ages.append(age)
+                hop_ages.append(
+                    {"hop": f"{u[0]}:{u[1]}>{v[0]}:{v[1]}", "age": age}
+                )
+        obs.trace.decision(
+            request_id,
+            scheduler=type(self).__name__,
+            metric=metric,
+            chosen_addr=chosen,
+            candidates=len(ranking),
+            estimated_delay=estimated,
+            truth_delay=truth_delay,
+            hop_ages=hop_ages,
+            telemetry_age_max=max(ages) if ages else None,
         )
 
     def _rank_raw(self, origin, candidates) -> List[Tuple[int, Tuple[float, float]]]:

@@ -124,7 +124,17 @@ class EdgeDevice:
                 self.host.sim.schedule(
                     self.task_timeout, self._on_task_timeout, task.task_id
                 )
-        self.client.query(self.metric, lambda ranking, j=job: self._on_ranking(j, ranking))
+        request_id = self.client.query(
+            self.metric, lambda ranking, j=job: self._on_ranking(j, ranking)
+        )
+        obs = self.host.sim.obs
+        if obs:
+            trace = getattr(obs, "trace", None)
+            if trace is not None:
+                # Correlate each task with its scheduler query so the
+                # decision becomes a child span of the task trace.
+                for task in job.tasks:
+                    trace.task_request(task.task_id, request_id)
 
     def _on_task_timeout(self, task_id: int) -> None:
         record = self._records.get(task_id)

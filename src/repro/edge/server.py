@@ -96,19 +96,33 @@ class EdgeServer:
             self._send_result(meta, ok=False)
             return
         self.tasks_received += 1
+        self._trace_event(meta, "arrived")
         if self.paused or (
             self.max_concurrent is not None and self.running >= self.max_concurrent
         ):
             self.queued.append(meta)
+            self._trace_event(meta, "queued")
             return
         self._start_execution(meta)
 
     # -- execution ----------------------------------------------------------
 
+    def _trace_event(self, meta: dict, event: str) -> None:
+        """Stage one task-lifecycle timestamp for causal tracing (no-op
+        unless a tracing-enabled obs hub is attached)."""
+        obs = self.host.sim.obs
+        if obs:
+            trace = getattr(obs, "trace", None)
+            if trace is not None:
+                trace.task_server_event(
+                    int(meta["task_id"]), event, server_addr=self.host.addr
+                )
+
     def _start_execution(self, meta: dict) -> None:
         self.running += 1
         exec_time = float(meta["exec_time"])
         self.busy_time += exec_time
+        self._trace_event(meta, "exec_start")
         self._exec_handles[int(meta["task_id"])] = self.host.sim.schedule(
             exec_time, self._finish_execution, meta
         )
@@ -117,6 +131,7 @@ class EdgeServer:
         self._exec_handles.pop(int(meta["task_id"]), None)
         self.running -= 1
         self.tasks_completed += 1
+        self._trace_event(meta, "exec_end")
         self._send_result(meta, ok=True)
         if self.paused:
             return
@@ -126,6 +141,7 @@ class EdgeServer:
     def _send_result(self, meta: dict, *, ok: bool) -> None:
         task_id = int(meta["task_id"])
         self._unacked_results[task_id] = meta
+        self._trace_event(meta, "result_sent")
         self._transmit_result(meta, ok, attempt=0)
 
     # Retransmission schedule: 1 s backoff doubling, capped; gives up after

@@ -54,6 +54,7 @@ def run_calibration(
     link_delay: float = ms(10),
     probing_interval: float = 0.1,
     seed: int = 0,
+    profiler=None,
 ) -> CalibrationPoint:
     """Measure one utilization level on the dumbbell topology."""
     if not 0.0 <= utilization <= 1.2:
@@ -69,6 +70,8 @@ def run_calibration(
     reset_run_state()
     streams = run_streams(seed)
     sim = Simulator()
+    if profiler is not None:
+        sim.profiler = profiler
     net = Network(sim, streams)
     net.add_host("h1")
     net.add_host("h2")

@@ -298,22 +298,37 @@ def reset_run_state() -> None:
     reset_request_ids()
 
 
-def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
+def run_experiment(config: ExperimentConfig, *, obs=None, profiler=None) -> ExperimentResult:
     """Run one complete experiment and return its metrics.
 
     ``obs`` (a :class:`repro.obs.Observability`) enables the observability
     layer for this run: sim-time metrics, structured events, a scheduler
     decision audit with ground truth attached, and task-lifecycle mirroring.
+    When the hub has a :class:`~repro.obs.tracing.SpanTracer` attached,
+    causal spans are assembled for tasks, sampled probes, and scheduler
+    decisions.  ``profiler`` (a :class:`~repro.simnet.engine.EngineProfiler`)
+    collects the per-event-type hot-path profile of this run.
     """
     reset_run_state()
     streams = run_streams(config.seed)
     sim = Simulator()
+    if profiler is not None:
+        sim.profiler = profiler
     if obs:
         obs.bind_sim(sim)
     topo = build_fig4_network(sim, streams)
     net = topo.network
     if obs:
         obs.attach_network(net)
+        if getattr(obs, "trace", None) is not None:
+            # Per-hop INT stamping spans reuse PacketTracer hop events over
+            # exactly the trace-sampled probes.
+            from repro.simnet.trace import PacketTracer
+
+            obs.trace.packet_tracer = PacketTracer(
+                list(net.hosts.values()) + list(net.switches.values()),
+                predicate=obs.trace.probe_predicate(),
+            )
 
     worker_names = topo.worker_names
     server_addrs = [net.address_of(n) for n in worker_names]
@@ -416,6 +431,8 @@ def run_experiment(config: ExperimentConfig, *, obs=None) -> ExperimentResult:
 
     if obs:
         _mirror_task_lifecycle(obs, metrics.records)
+        if getattr(obs, "trace", None) is not None:
+            obs.trace.assemble(metrics.records)
         obs.metrics.gauge("run_sim_time_seconds").set(sim.now)
         obs.metrics.gauge("run_events_executed").set(sim.events_executed)
         obs.metrics.gauge("run_tasks_completed").set(len(metrics.completed()))

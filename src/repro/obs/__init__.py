@@ -35,6 +35,7 @@ from repro.obs.metrics import (
     NullSink,
     NULL_SINK,
 )
+from repro.obs.tracing import Span, SpanTracer
 
 __all__ = [
     "Observability",
@@ -51,6 +52,8 @@ __all__ = [
     "NullSink",
     "NULL_SINK",
     "NULL_OBS",
+    "Span",
+    "SpanTracer",
 ]
 
 # The disabled-observability singleton: falsy, absorbs any call chain.
@@ -72,6 +75,9 @@ class Observability:
         max_decisions: Optional[int] = None,
         probe_sample: int = 10,
         queue_threshold_fraction: float = DEFAULT_QUEUE_THRESHOLD_FRACTION,
+        trace: bool = False,
+        trace_probe_sample: int = 25,
+        max_spans: Optional[int] = None,
     ) -> None:
         if probe_sample < 1:
             raise ValueError("probe_sample must be >= 1")
@@ -82,6 +88,16 @@ class Observability:
         self.events = EventLog(**({} if max_events is None else {"max_events": max_events}))
         self.audit = DecisionAudit(
             **({} if max_decisions is None else {"max_decisions": max_decisions})
+        )
+        # Causal span tracing is opt-in: instrumented call sites guard with
+        # ``getattr(obs, "trace", None)`` so a traceless run pays nothing.
+        self.trace: Optional[SpanTracer] = (
+            SpanTracer(
+                probe_sample=trace_probe_sample,
+                **({} if max_spans is None else {"max_spans": max_spans}),
+            )
+            if trace
+            else None
         )
         # Per-probe events at mesh-probing rates dwarf everything else; only
         # every Nth probe_sent/probe_received lands in the event log, while
@@ -103,6 +119,8 @@ class Observability:
         self.metrics.bind_clock(clock)
         self.events.bind_clock(clock)
         self.audit.bind_clock(clock)
+        if self.trace is not None:
+            self.trace.bind_clock(clock)
         sim.obs = self
 
     def attach_network(self, network: Any) -> None:
@@ -203,9 +221,22 @@ class Observability:
                 record["run"] = run
         return records
 
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """Every assembled span, JSON-ready, run labels attached.  Kept
+        separate from :meth:`snapshot_records` so trace exports never change
+        the pre-existing obs export byte stream."""
+        if self.trace is None:
+            return []
+        records = self.trace.snapshot()
+        if self.run:
+            run = dict(self.run)
+            for record in records:
+                record["run"] = run
+        return records
+
     def summary(self) -> Dict[str, Any]:
         """Compact run-level digest (the ``run-summary`` exporter)."""
-        return {
+        out = {
             "run": dict(self.run),
             "instruments": len(self.metrics),
             "events": len(self.events),
@@ -215,3 +246,7 @@ class Observability:
             "decisions_dropped": self.audit.dropped_decisions,
             "delay_error": self.audit.error_report(),
         }
+        if self.trace is not None:
+            out["spans"] = len(self.trace)
+            out["spans_dropped"] = self.trace.dropped_spans
+        return out

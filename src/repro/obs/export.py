@@ -7,7 +7,10 @@ The wire format is one JSON object per line, discriminated by ``kind``:
 * ``{"kind": "event", "event": <kind>, "time": t, ...}`` — one structured
   event-log record;
 * ``{"kind": "decision-audit", ...}`` — one scheduler ranking query with its
-  per-candidate explanation.
+  per-candidate explanation;
+* ``{"kind": "span", ...}`` — one causal-trace span (see
+  :mod:`repro.obs.tracing`), written to a separate ``--trace-out`` file and
+  summarized by ``repro trace-report``.
 
 Records exported from a hub with run labels carry them under ``"run"`` so
 multiple runs (e.g. every cell of a policy comparison) can share one file
@@ -28,6 +31,7 @@ __all__ = [
     "write_jsonl",
     "read_jsonl",
     "write_metrics_csv",
+    "flatten_labels",
     "render_obs_report",
 ]
 
@@ -55,6 +59,22 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
 _CSV_FIELDS = ("name", "type", "labels", "value", "count", "sum", "mean", "updated_at")
 
 
+def _escape_label(text: str) -> str:
+    """Escape the label-flattening delimiters (`,` between pairs, `=` within
+    a pair) plus the escape character itself, so a label value containing
+    either survives a round trip through the flattened column."""
+    return text.replace("\\", "\\\\").replace(",", "\\,").replace("=", "\\=")
+
+
+def flatten_labels(labels: Dict[str, Any]) -> str:
+    """Deterministic one-column rendering of a label dict: ``k=v`` pairs
+    sorted by key, joined with ``,``, delimiters escaped."""
+    return ",".join(
+        f"{_escape_label(str(k))}={_escape_label(str(v))}"
+        for k, v in sorted(labels.items())
+    )
+
+
 def write_metrics_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
     """Flatten the ``metric`` records of an export into a CSV table."""
     n = 0
@@ -65,9 +85,7 @@ def write_metrics_csv(records: Iterable[Dict[str, Any]], path: str) -> int:
             if record.get("kind") != "metric":
                 continue
             row = dict(record)
-            row["labels"] = ",".join(
-                f"{k}={v}" for k, v in sorted(record.get("labels", {}).items())
-            )
+            row["labels"] = flatten_labels(record.get("labels", {}))
             writer.writerow(row)
             n += 1
     return n
@@ -104,6 +122,26 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
         lines.append("events by kind:")
         for name, count in sorted(event_counts.items()):
             lines.append(f"  {name:<18} {count}")
+
+    # Per-run probe-loss summary from the collector's seq-gap detection:
+    # each probe_lost event carries the size of one sequence gap.
+    loss_runs: Dict[Tuple[Tuple[str, Any], ...], List[Dict[str, Any]]] = {}
+    for record in records:
+        if record.get("kind") == "event" and record.get("event") == "probe_lost":
+            loss_runs.setdefault(_run_key(record), []).append(record)
+    if loss_runs:
+        lines.append("probe loss (collector seq gaps):")
+        for key in sorted(loss_runs):
+            events = loss_runs[key]
+            label = (
+                ", ".join(f"{k}={v}" for k, v in key) if key else "(unlabeled run)"
+            )
+            total = sum(int(e.get("lost", 0)) for e in events)
+            pairs = {(e.get("src"), e.get("dst")) for e in events}
+            lines.append(
+                f"  {label}: {total} probes lost across {len(events)} gap events "
+                f"({len(pairs)} src/dst pairs)"
+            )
 
     # Per-run (≈ per-policy cell) decision audit summary.
     runs: Dict[Tuple[Tuple[str, Any], ...], List[Dict[str, Any]]] = {}

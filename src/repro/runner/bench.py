@@ -67,24 +67,28 @@ def run_bench(
     seed: int = 0,
     cache_root: str,
     progress: Optional[Callable[[str], None]] = None,
+    profile: bool = True,
 ) -> Dict[str, Any]:
     """Time the grid serial / parallel / cached; return the report dict.
 
     ``cache_root`` is used for the cached pass only (pre-populated from the
     serial results, then timed).  The report's ``byte_identical`` is the
     headline correctness claim: parallel and cached payloads must match the
-    serial ones byte for byte."""
+    serial ones byte for byte.  With ``profile`` on (the default), every
+    pass runs under the engine profiler — the profile lives in result
+    provenance, so byte-identity still holds — and the serial pass's merged
+    summary lands in the report's ``profile`` key."""
     specs = bench_grid_specs(scale, seed)
     say = progress if progress is not None else (lambda _line: None)
 
     say(f"serial: {len(specs)} runs ...")
-    serial_runner = Runner(jobs=1)
+    serial_runner = Runner(jobs=1, profile=profile)
     t0 = time.perf_counter()
     serial = serial_runner.run(specs)
     serial_s = time.perf_counter() - t0
 
     say(f"parallel: {len(specs)} runs on {jobs} workers ...")
-    parallel_runner = Runner(jobs=jobs)
+    parallel_runner = Runner(jobs=jobs, profile=profile)
     t0 = time.perf_counter()
     parallel = parallel_runner.run(specs)
     parallel_s = time.perf_counter() - t0
@@ -93,7 +97,7 @@ def run_bench(
     cache = ResultCache(cache_root)
     for result in serial:
         cache.put(result.spec_hash, result.to_json().encode("utf-8"))
-    cached_runner = Runner(jobs=1, cache=cache)
+    cached_runner = Runner(jobs=1, cache=cache, profile=profile)
     t0 = time.perf_counter()
     cached = cached_runner.run(specs)
     cached_s = time.perf_counter() - t0
@@ -118,6 +122,7 @@ def run_bench(
         "cache_hits": cached_runner.stats.cache_hits,
         "byte_identical": not diverging,
         "diverging_cells": diverging,
+        "profile": serial_runner.profile_summary() if profile else None,
         "host": {
             "cpus": os.cpu_count(),
             "python": sys.version.split()[0],

@@ -128,27 +128,58 @@ class RunResult:
         """Observability records captured by this run ([] for plain runs)."""
         return list(self.payload.get("obs_records", ()))
 
+    def trace_records(self) -> List[Dict[str, Any]]:
+        """Causal span records captured by this run ([] unless traced)."""
+        return list(self.payload.get("trace_records", ()))
+
+    def profile(self) -> Optional[Dict[str, Any]]:
+        """Engine profile summary, or None.  Lives in provenance: handler
+        wall-times are nondeterministic and must not affect payload bytes."""
+        return self.provenance.get("profile")
+
 
 # ---------------------------------------------------------------------------
 # Spec execution (runs in the worker process)
 # ---------------------------------------------------------------------------
 
 def execute_spec(spec: Any) -> Dict[str, Any]:
-    """Execute one spec and return its deterministic payload."""
+    """Execute one spec and return its deterministic payload.
+
+    A profiled spec's engine profile rides back under the ``"_profile"``
+    payload key temporarily; :func:`_execute_envelope_json` moves it into
+    provenance because handler wall-times are nondeterministic.
+    """
+    profiler = None
+    if getattr(spec, "profile", False):
+        from repro.simnet.engine import EngineProfiler
+
+        profiler = EngineProfiler()
     if isinstance(spec, RunSpec):
         from repro.experiments.export import result_to_dict
         from repro.experiments.harness import run_experiment
 
         obs = None
         labels = spec.obs_run()
-        if labels is not None:
+        if labels is not None or spec.trace:
             from repro.obs import Observability
 
-            obs = Observability(run=labels)
-        result = run_experiment(spec.to_config(), obs=obs)
+            if labels is None:
+                # Traced run without explicit obs labels: synthesize the grid
+                # identity so multi-cell trace files stay separable.
+                labels = {
+                    "policy": spec.policy,
+                    "size_class": spec.size_class,
+                    "seed": spec.seed,
+                }
+            obs = Observability(run=labels, trace=spec.trace)
+        result = run_experiment(spec.to_config(), obs=obs, profiler=profiler)
         payload = result_to_dict(result, include_tasks=True)
-        if obs is not None:
+        if obs is not None and spec.obs_run() is not None:
             payload["obs_records"] = obs.snapshot_records()
+        if obs is not None and spec.trace:
+            payload["trace_records"] = obs.trace_records()
+        if profiler is not None:
+            payload["_profile"] = profiler.summary()
         return payload
     if isinstance(spec, CalibrationSpec):
         from dataclasses import asdict
@@ -162,8 +193,12 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
             link_delay=spec.link_delay,
             probing_interval=spec.probing_interval,
             seed=spec.seed,
+            profiler=profiler,
         )
-        return {"calibration": asdict(point)}
+        payload = {"calibration": asdict(point)}
+        if profiler is not None:
+            payload["_profile"] = profiler.summary()
+        return payload
     raise ExperimentError(f"cannot execute spec of type {type(spec).__name__}")
 
 
@@ -179,14 +214,20 @@ def _execute_envelope_json(spec_json: str) -> str:
     started = time.monotonic()
     payload = execute_spec(spec)
     wall = time.monotonic() - started
+    provenance = {
+        "code_version": repro.__version__,
+        "wall_time_s": round(wall, 6),
+    }
+    # The engine profile is execution metadata (real wall-times), not part
+    # of the deterministic payload.
+    profile = payload.pop("_profile", None)
+    if profile is not None:
+        provenance["profile"] = profile
     envelope = {
         "spec": spec.to_dict(),
         "spec_hash": spec.content_hash(),
         "payload": payload,
-        "provenance": {
-            "code_version": repro.__version__,
-            "wall_time_s": round(wall, 6),
-        },
+        "provenance": provenance,
     }
     return canonical_json(envelope)
 
@@ -261,6 +302,8 @@ class Runner:
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[str], None]] = None,
         obs: Optional[Any] = None,
+        trace: bool = False,
+        profile: bool = False,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
@@ -268,6 +311,13 @@ class Runner:
         self.cache = cache
         self.progress = progress
         self.obs = obs
+        # Instrumentation: stamp every incoming spec with these flags before
+        # hashing (so traced/profiled cells never alias plain cache entries)
+        # and accumulate the per-run outputs across run() calls.
+        self.trace = trace
+        self.profile = profile
+        self.trace_records: List[Dict[str, Any]] = []
+        self.profiles: List[Dict[str, Any]] = []
         if obs is not None:
             started = time.monotonic()
             clock = lambda: time.monotonic() - started  # noqa: E731
@@ -283,6 +333,11 @@ class Runner:
         Duplicate specs (same content hash) execute once and share their
         result object."""
         started = time.monotonic()
+        if self.trace or self.profile:
+            specs = [
+                spec.instrumented(trace=self.trace, profile=self.profile)
+                for spec in specs
+            ]
         hashes = [spec.content_hash() for spec in specs]
         stats = RunnerStats(total=len(specs))
         results: Dict[str, RunResult] = {}
@@ -338,7 +393,42 @@ class Runner:
         self.stats = stats
         if self.obs is not None:
             self.obs.metrics.gauge("runner_wall_time_seconds").set(stats.wall_time_s)
+        # Accumulate instrumentation outputs once per unique run, in
+        # first-appearance order (cached results included — their spans are
+        # in the payload, so trace exports survive cache hits).
+        if self.trace or self.profile:
+            for spec_hash in dict.fromkeys(hashes):
+                result = results[spec_hash]
+                self.trace_records.extend(result.payload.get("trace_records", ()))
+                profile = result.provenance.get("profile")
+                if profile is not None:
+                    self.profiles.append(profile)
         return [results[spec_hash] for spec_hash in hashes]
+
+    def profile_summary(self) -> Optional[Dict[str, Any]]:
+        """Merge every accumulated per-run engine profile into one summary:
+        counts/wall-times summed per event type, queue high-water maxed."""
+        if not self.profiles:
+            return None
+        by_type: Dict[str, Dict[str, Any]] = {}
+        events_total = 0
+        high_water = 0
+        wall_s = 0.0
+        for profile in self.profiles:
+            events_total += profile.get("events_total", 0)
+            high_water = max(high_water, profile.get("queue_high_water", 0))
+            wall_s += profile.get("wall_s", 0.0)
+            for name, stats in profile.get("by_type", {}).items():
+                merged = by_type.setdefault(name, {"count": 0, "wall_s": 0.0})
+                merged["count"] += stats["count"]
+                merged["wall_s"] += stats["wall_s"]
+        return {
+            "runs": len(self.profiles),
+            "events_total": events_total,
+            "queue_high_water": high_water,
+            "wall_s": wall_s,
+            "by_type": dict(sorted(by_type.items())),
+        }
 
     def run_grid(
         self,

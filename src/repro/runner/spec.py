@@ -124,6 +124,13 @@ class RunSpec:
     # Part of the hash on purpose — an obs run carries extra payload, so it
     # must not alias a plain run's cache entry.
     obs_run_json: Optional[str] = None
+    # Instrumentation flags, stamped by the runner (never persisted into
+    # ExperimentConfig).  In the hash on purpose: a traced run's payload
+    # carries span records and must not alias a plain run's cache entry; a
+    # profiled run keeps its (nondeterministic) profile in provenance, so
+    # profiled and plain runs must not share cache files either.
+    trace: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.size_class not in _SIZE_CLASSES:
@@ -287,6 +294,15 @@ class RunSpec:
         """`dataclasses.replace` spelled as a method, for grid expansion."""
         return replace(self, **changes)
 
+    def instrumented(self, *, trace: bool = False, profile: bool = False) -> "RunSpec":
+        """This spec with instrumentation flags ORed in (identity when no
+        flag changes, so un-instrumented grids keep their spec objects)."""
+        trace = trace or self.trace
+        profile = profile or self.profile
+        if trace == self.trace and profile == self.profile:
+            return self
+        return replace(self, trace=trace, profile=profile)
+
 
 @dataclass(frozen=True)
 class CalibrationSpec:
@@ -300,6 +316,9 @@ class CalibrationSpec:
     link_delay: float = 0.010
     probing_interval: float = 0.1
     seed: int = 0
+    # Engine profiling; in the hash (see RunSpec).  Calibration runs have no
+    # task/probe lifecycles to trace, so there is no trace flag here.
+    profile: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"kind": self.KIND}
@@ -325,6 +344,15 @@ class CalibrationSpec:
 
     def with_(self, **changes: Any) -> "CalibrationSpec":
         return replace(self, **changes)
+
+    def instrumented(
+        self, *, trace: bool = False, profile: bool = False
+    ) -> "CalibrationSpec":
+        """Profiling only — calibration runs have nothing to span-trace."""
+        del trace
+        if profile and not self.profile:
+            return replace(self, profile=True)
+        return self
 
 
 SPEC_KINDS = {

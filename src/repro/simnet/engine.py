@@ -14,11 +14,12 @@ stack's state machines (queues, transports) are naturally event-driven.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import time as _walltime
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-__all__ = ["EventHandle", "Simulator", "PeriodicTimer"]
+__all__ = ["EventHandle", "Simulator", "PeriodicTimer", "EngineProfiler", "render_profile"]
 
 # Heap entries are plain (time, seq, handle) tuples: tuple comparison runs in
 # C and the seq tiebreaker guarantees the handle is never compared.
@@ -45,6 +46,61 @@ class EventHandle:
         state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
         name = getattr(self.fn, "__qualname__", repr(self.fn))
         return f"<EventHandle t={self.time:.6f} {name} [{state}]>"
+
+
+class EngineProfiler:
+    """Hot-path profile of one simulation: per-event-type counts and handler
+    wall-time, plus the event-queue high-water mark.
+
+    Event types are handler qualnames (``PortQueue._dequeue`` etc.), so the
+    profile maps directly onto the code to optimize.  Wall-times are real
+    (``perf_counter``) and therefore nondeterministic — the runner keeps the
+    summary in the result *provenance*, never in the cached payload, so
+    profiled runs stay byte-identical across serial / parallel / cached.
+    """
+
+    __slots__ = ("by_type", "events_total", "queue_high_water", "wall_s")
+
+    def __init__(self) -> None:
+        # name -> [count, wall_seconds]; a mutable list keeps the per-event
+        # update to one dict lookup + two inplace adds.
+        self.by_type: Dict[str, List[float]] = {}
+        self.events_total = 0
+        self.queue_high_water = 0
+        self.wall_s = 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "events_total": self.events_total,
+            "queue_high_water": self.queue_high_water,
+            "wall_s": self.wall_s,
+            "by_type": {
+                name: {"count": int(count), "wall_s": wall}
+                for name, (count, wall) in sorted(self.by_type.items())
+            },
+        }
+
+
+def render_profile(summary: Dict[str, Any]) -> str:
+    """Human-readable engine profile: top event types by handler wall-time."""
+    lines = [
+        f"engine profile: {summary['events_total']} events, "
+        f"queue high-water {summary['queue_high_water']}, "
+        f"wall {summary['wall_s']:.3f} s"
+    ]
+    by_type = summary.get("by_type", {})
+    top = sorted(by_type.items(), key=lambda kv: kv[1]["wall_s"], reverse=True)
+    for name, stats in top[:12]:
+        share = (
+            100.0 * stats["wall_s"] / summary["wall_s"] if summary["wall_s"] else 0.0
+        )
+        lines.append(
+            f"  {name:<44} {stats['count']:>9} events  "
+            f"{stats['wall_s'] * 1e3:>9.1f} ms  ({share:4.1f}%)"
+        )
+    if len(top) > 12:
+        lines.append(f"  ... and {len(top) - 12} more event types")
+    return "\n".join(lines)
 
 
 class Simulator:
@@ -79,6 +135,9 @@ class Simulator:
         # FaultInjector.arm() — the same registered-on-the-engine convention
         # as `obs`, so any component can discover the active fault plan.
         self.faults: Optional[Any] = None
+        # EngineProfiler or None.  run() dispatches to a separate profiled
+        # loop when set, so the unprofiled hot loop stays untouched.
+        self.profiler: Optional[EngineProfiler] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -148,19 +207,22 @@ class Simulator:
         try:
             heap = self._heap
             pop = heapq.heappop
-            while heap and not self._stop_requested:
-                if until is not None and heap[0][0] > until:
-                    break
-                time, _seq, handle = pop(heap)
-                if handle.cancelled:
-                    continue
-                self._now = time
-                handle.fired = True
-                self.events_executed += 1
-                handle.fn(*handle.args)
-                executed += 1
-                if max_events is not None and executed >= max_events:
-                    break
+            if self.profiler is not None:
+                executed = self._run_profiled(until, max_events)
+            else:
+                while heap and not self._stop_requested:
+                    if until is not None and heap[0][0] > until:
+                        break
+                    time, _seq, handle = pop(heap)
+                    if handle.cancelled:
+                        continue
+                    self._now = time
+                    handle.fired = True
+                    self.events_executed += 1
+                    handle.fn(*handle.args)
+                    executed += 1
+                    if max_events is not None and executed >= max_events:
+                        break
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stop_requested:
@@ -174,6 +236,51 @@ class Simulator:
                 t <= until and not h.cancelled for t, _s, h in self._heap
             ):
                 self._now = until
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> int:
+        """The :meth:`run` loop with per-event profiling.  A separate copy so
+        the unprofiled loop pays nothing; semantics are identical — the
+        profiler observes, never perturbs, the event order."""
+        profiler = self.profiler
+        by_type = profiler.by_type
+        heap = self._heap
+        pop = heapq.heappop
+        clock = _walltime.perf_counter
+        executed = 0
+        loop_start = clock()
+        try:
+            while heap and not self._stop_requested:
+                if until is not None and heap[0][0] > until:
+                    break
+                depth = len(heap)
+                if depth > profiler.queue_high_water:
+                    profiler.queue_high_water = depth
+                time, _seq, handle = pop(heap)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                handle.fired = True
+                self.events_executed += 1
+                fn = handle.fn
+                name = getattr(fn, "__qualname__", None) or repr(fn)
+                t0 = clock()
+                fn(*handle.args)
+                elapsed = clock() - t0
+                stats = by_type.get(name)
+                if stats is None:
+                    by_type[name] = [1, elapsed]
+                else:
+                    stats[0] += 1
+                    stats[1] += elapsed
+                executed += 1
+                if max_events is not None and executed >= max_events:
+                    break
+        finally:
+            profiler.events_total += executed
+            profiler.wall_s += clock() - loop_start
+        return executed
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current event."""

@@ -27,7 +27,7 @@ class HopEvent:
 
     time: float
     node: str
-    kind: str          # "ingress" | "egress" | "drop"
+    kind: str          # "ingress" | "egress" | "drop" | "truncated"
     packet_id: int
     flow_id: int
     seq: int
@@ -101,8 +101,32 @@ class PacketTracer:
     def _record(self, node: Node, kind: str, packet: Packet, enq_depth=None) -> None:
         if not self.predicate(packet):
             return
+        if self.truncated:
+            return
         if len(self.events) >= self.max_events:
+            # Truncation is loud, not silent: one sentinel event marks where
+            # the trace stops (neutral ids so per-packet analyses — which
+            # filter on ingress/egress/drop kinds — are unaffected), and the
+            # run's event log gets a warning when observability is attached.
             self.truncated = True
+            self.events.append(
+                HopEvent(
+                    time=node.sim.now,
+                    node=node.name,
+                    kind="truncated",
+                    packet_id=-1,
+                    flow_id=-1,
+                    seq=-1,
+                    size_bytes=0,
+                )
+            )
+            obs = getattr(node.sim, "obs", None)
+            if obs:
+                obs.events.warning(
+                    "packet_tracer_truncated",
+                    node=node.name,
+                    max_events=self.max_events,
+                )
             return
         self.events.append(
             HopEvent(

@@ -87,6 +87,11 @@ class IntCollector:
             obs.probe_received(
                 src=probe_src, dst=probe_dst, seq=seq, hops=len(records)
             )
+            trace = getattr(obs, "trace", None)
+            if trace is not None and trace.wants_probe(seq):
+                trace.probe_ingested(
+                    src=probe_src, dst=probe_dst, seq=seq, hops=len(records)
+                )
             self._track_loss(obs, probe_src, probe_dst, seq)
         for fn in self._subscribers:
             fn(report)

@@ -120,6 +120,14 @@ class ProbeSender:
         obs = self.host.sim.obs
         if obs:
             obs.probe_sent(src=self.host.addr, dst=target, seq=self._seq)
+            trace = getattr(obs, "trace", None)
+            if trace is not None and trace.wants_probe(self._seq):
+                trace.probe_sent(
+                    src=self.host.addr,
+                    dst=target,
+                    seq=self._seq,
+                    packet_id=packet.packet_id,
+                )
         self.host.send(packet)
 
 

@@ -4,6 +4,7 @@ import json
 
 from repro.obs import Observability
 from repro.obs.export import (
+    flatten_labels,
     read_jsonl,
     render_obs_report,
     write_jsonl,
@@ -65,6 +66,28 @@ class TestCsv:
         assert "probes_sent_total" in text and "src=1" in text
         assert "packet" not in text  # events excluded
 
+    def test_label_values_with_separators_survive(self, tmp_path):
+        """Regression: a label value containing ``,`` or ``=`` used to merge
+        into the neighbouring pair in the flattened labels column."""
+        obs = Observability()
+        obs.metrics.counter("c", queue="s1[0],s1[1]", note="a=b", path="x\\y").inc()
+        path = str(tmp_path / "metrics.csv")
+        write_metrics_csv(obs.snapshot_records(), path)
+        text = open(path).read()
+        assert r"queue=s1[0]\,s1[1]" in text
+        assert r"note=a\=b" in text
+        assert "path=x\\\\y" in text
+
+    def test_flatten_labels_escaping_round_trips(self):
+        flat = flatten_labels({"b": "x,y", "a": "p=q"})
+        # Sorted keys; separators inside values are escaped, so splitting on
+        # unescaped commas recovers exactly two pairs.
+        assert flat == r"a=p\=q,b=x\,y"
+        import re
+
+        pairs = re.split(r"(?<!\\),", flat)
+        assert len(pairs) == 2
+
 
 class TestReport:
     def test_summary_counts_and_error(self, tmp_path):
@@ -85,6 +108,23 @@ class TestReport:
         )
         report = render_obs_report(obs.snapshot_records())
         assert "n/a" in report
+
+    def test_probe_loss_summary_per_run(self):
+        obs = Observability(run={"policy": "aware"})
+        obs.events.probe_lost(src=1, dst=5, seq=10, lost=3)
+        obs.events.probe_lost(src=1, dst=5, seq=20, lost=1)
+        obs.events.probe_lost(src=2, dst=5, seq=7, lost=2)
+        other = Observability(run={"policy": "nearest"})
+        other.events.probe_lost(src=1, dst=5, seq=4, lost=1)
+        records = obs.snapshot_records() + other.snapshot_records()
+        report = render_obs_report(records)
+        assert "probe loss (collector seq gaps):" in report
+        assert "policy=aware: 6 probes lost across 3 gap events (2 src/dst pairs)" in report
+        assert "policy=nearest: 1 probes lost across 1 gap events (1 src/dst pairs)" in report
+
+    def test_no_probe_loss_section_when_clean(self):
+        report = render_obs_report(_populated_hub().snapshot_records())
+        assert "probe loss" not in report
 
 
 class TestSummary:

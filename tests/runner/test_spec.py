@@ -98,6 +98,10 @@ _FIELD_CHANGES = {
     "task_max_attempts": 7,
     "quarantine_ttl": 13.0,
     "obs_run_json": canonical_json({"figure": "fig5"}),
+    # Instrumentation flags are in the hash on purpose: a traced or
+    # profiled run must never alias a plain run's cache entry.
+    "trace": True,
+    "profile": True,
 }
 
 
@@ -178,6 +182,7 @@ class TestCalibrationSpec:
             "link_delay": 0.033,
             "probing_interval": 0.4,
             "seed": 6,
+            "profile": True,
         }
         assert set(changes) == {f.name for f in dataclasses.fields(CalibrationSpec)}
         for name, value in changes.items():

@@ -1,0 +1,147 @@
+"""Trace determinism and the critical-path acceptance invariant.
+
+Satellite acceptance tests for the tracing subsystem: a traced grid run
+with ``jobs=4`` must export byte-identical span records to the serial
+execution, span trees must be well-formed (acyclic, parents present), and
+every completed task's segment durations must sum to its measured
+end-to-end delay.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import SMOKE_SCALE, ExperimentConfig
+from repro.obs.tracing import SEGMENT_NAMES
+from repro.runner import ResultCache, Runner, RunSpec, canonical_json, expand_grid
+
+pytestmark = pytest.mark.slow
+
+
+def _grid():
+    base = RunSpec.from_config(ExperimentConfig(scale=SMOKE_SCALE, seed=3))
+    return expand_grid(
+        base, {"policy": ["aware", "nearest"], "size_class": ["VS", "S"]}
+    )
+
+
+def _trace_bytes(results):
+    return [
+        b"\n".join(canonical_json(r).encode() for r in result.trace_records())
+        for result in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    return Runner(jobs=1, trace=True).run(_grid())
+
+
+class TestTraceDeterminism:
+    def test_jobs4_trace_exports_byte_identical_to_serial(self, serial_results):
+        parallel = Runner(jobs=4, trace=True).run(_grid())
+        assert len(parallel) == len(serial_results) == 4
+        for s, p in zip(serial_results, parallel):
+            assert s.payload_json() == p.payload_json(), s.spec.label()
+        assert _trace_bytes(serial_results) == _trace_bytes(parallel)
+
+    def test_cache_round_trip_preserves_trace_records(self, tmp_path, serial_results):
+        cache = ResultCache(str(tmp_path))
+        spec = _grid()[0]
+        first = Runner(jobs=1, cache=cache, trace=True).run([spec])[0]
+        hit = Runner(jobs=1, cache=cache, trace=True).run([spec])[0]
+        assert hit.from_cache
+        assert _trace_bytes([hit]) == _trace_bytes([first])
+        assert _trace_bytes([hit]) == _trace_bytes([serial_results[0]])
+
+    def test_traced_spec_hash_differs_from_plain(self):
+        spec = _grid()[0]
+        traced = spec.instrumented(trace=True)
+        assert traced.content_hash() != spec.content_hash()
+        # Stamping is idempotent: re-instrumenting an already-traced spec
+        # returns it unchanged (same hash, same object).
+        assert traced.instrumented(trace=True) is traced
+
+    def test_plain_run_has_no_trace_records(self):
+        result = Runner(jobs=1).run(_grid()[:1])[0]
+        assert result.trace_records() == []
+        assert "trace_records" not in json.loads(result.payload_json())
+
+    def test_runner_collects_trace_records(self, serial_results):
+        runner = Runner(jobs=1, trace=True)
+        runner.run(_grid()[:2])
+        assert len(runner.trace_records) > 0
+        assert all(r["kind"] == "span" for r in runner.trace_records)
+        assert all("run" in r for r in runner.trace_records)
+
+
+class TestSpanTreeInvariants:
+    @pytest.fixture(scope="class")
+    def spans(self, serial_results):
+        return [r for res in serial_results for r in res.trace_records()]
+
+    def test_parent_links_complete_and_acyclic(self, spans):
+        by_trace = {}
+        for span in spans:
+            by_trace.setdefault((tuple(sorted(span["run"].items())),
+                                 span["trace_id"]), []).append(span)
+        assert by_trace
+        for trace_spans in by_trace.values():
+            ids = {s["span_id"] for s in trace_spans}
+            parents = {s["span_id"]: s["parent_id"] for s in trace_spans}
+            roots = [s for s in trace_spans if s["parent_id"] is None]
+            assert len(roots) == 1
+            for span in trace_spans:
+                # Every non-root parent exists within the same trace.
+                if span["parent_id"] is not None:
+                    assert span["parent_id"] in ids
+                # Walking up terminates at the root (no cycles).
+                seen, cur = set(), span["span_id"]
+                while cur is not None:
+                    assert cur not in seen
+                    seen.add(cur)
+                    cur = parents[cur]
+
+    def test_child_spans_within_parent_interval(self, spans):
+        # Span ids restart per run, so the lookup key must include the run
+        # label alongside the trace id.
+        def key(s, span_id):
+            return (tuple(sorted(s["run"].items())), s["trace_id"], span_id)
+
+        by_id = {key(s, s["span_id"]): s for s in spans}
+        for span in spans:
+            if span["parent_id"] is None:
+                continue
+            parent = by_id[key(span, span["parent_id"])]
+            assert span["start"] >= parent["start"] - 1e-9
+            assert span["end"] <= parent["end"] + 1e-9
+
+    def test_every_completed_task_decomposes_exactly(self, spans):
+        """The headline acceptance criterion: for every completed task the
+        five segment durations sum to the measured end-to-end delay."""
+        roots = [
+            s for s in spans
+            if s["name"] == "task" and not s["attributes"]["failed"]
+        ]
+        decomposed = [
+            s for s in roots if s["attributes"]["segments"] is not None
+        ]
+        assert decomposed, "no completed task produced a decomposition"
+        for root in decomposed:
+            segments = root["attributes"]["segments"]
+            assert set(segments) == set(SEGMENT_NAMES)
+            assert all(v >= 0.0 for v in segments.values())
+            assert sum(segments.values()) == pytest.approx(
+                root["attributes"]["end_to_end"], abs=1e-9
+            )
+
+    def test_probe_traces_present_and_sampled(self, spans):
+        probes = [s for s in spans if s["name"] == "probe"]
+        assert probes
+        # Sampled by seq: every traced probe's seq satisfies the stride.
+        assert all(
+            (s["attributes"]["seq"] - 1) % 25 == 0 for s in probes
+        )
+        hops = [s for s in spans if s["name"] == "hop"]
+        assert hops
+        assert all(s["parent_id"] is not None for s in hops)

@@ -254,3 +254,77 @@ class TestClockUnderEventBudget:
         sim.schedule(1.0, sim.stop)
         sim.run(until=5.0)
         assert sim.now == 1.0
+
+
+class TestEngineProfiler:
+    def _profiled_sim(self):
+        from repro.simnet.engine import EngineProfiler, Simulator
+
+        sim = Simulator()
+        sim.profiler = EngineProfiler()
+        return sim
+
+    def test_counts_events_by_handler(self):
+        sim = self._profiled_sim()
+        log = []
+
+        def handler_a():
+            log.append("a")
+
+        def handler_b():
+            log.append("b")
+
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, handler_a)
+        sim.schedule(4.0, handler_b)
+        sim.run()
+        summary = sim.profiler.summary()
+        assert summary["events_total"] == 4
+        by_type = summary["by_type"]
+        a_key = next(k for k in by_type if "handler_a" in k)
+        b_key = next(k for k in by_type if "handler_b" in k)
+        assert by_type[a_key]["count"] == 3
+        assert by_type[b_key]["count"] == 1
+        assert by_type[a_key]["wall_s"] >= 0.0
+
+    def test_queue_high_water(self):
+        sim = self._profiled_sim()
+        for t in range(1, 8):
+            sim.schedule(float(t), lambda: None)
+        sim.run()
+        assert sim.profiler.queue_high_water == 7
+
+    def test_profiled_run_same_semantics(self, sim):
+        """The profiled loop must execute the same events in the same order
+        as the plain loop — it observes, never perturbs."""
+        from repro.simnet.engine import EngineProfiler, Simulator
+
+        def build(s):
+            log = []
+            s.schedule(2.0, log.append, "b")
+            s.schedule(1.0, log.append, "a")
+            h = s.schedule(1.5, log.append, "x")
+            s.cancel(h)
+            s.schedule(3.0, log.append, "c")
+            return log
+
+        plain_log = build(sim)
+        sim.run(until=10.0)
+        prof_sim = Simulator()
+        prof_sim.profiler = EngineProfiler()
+        prof_log = build(prof_sim)
+        prof_sim.run(until=10.0)
+        assert prof_log == plain_log == ["a", "b", "c"]
+        assert prof_sim.now == sim.now == 10.0
+        assert prof_sim.events_executed == sim.events_executed
+        assert prof_sim.profiler.events_total == 3
+
+    def test_render_profile(self):
+        from repro.simnet.engine import render_profile
+
+        sim = self._profiled_sim()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        text = render_profile(sim.profiler.summary())
+        assert "engine profile: 1 events" in text
+        assert "queue high-water 1" in text

@@ -97,8 +97,34 @@ class TestPacketTracer:
         sink = UdpSink(net.host("h2"))
         UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(5), burstiness="cbr").run_for(1.0)
         sim.run(until=2.0)
-        assert len(tracer) == 5
+        # 5 real hop events plus exactly one "truncated" sentinel marking
+        # where recording stopped — truncation is never silent.
+        assert len(tracer) == 6
         assert tracer.truncated
+        assert [e.kind for e in tracer.events].count("truncated") == 1
+        assert tracer.events[-1].kind == "truncated"
+        # The sentinel's neutral ids keep per-packet analyses clean.
+        assert tracer.events[-1].packet_id == -1
+        assert all(e.kind != "truncated" for e in tracer.drops())
+
+    def test_truncation_warns_via_obs(self, sim, line3):
+        from repro.obs import Observability
+
+        net = line3
+        obs = Observability()
+        obs.bind_sim(sim)
+        tracer = PacketTracer(self._all_nodes(net), max_events=3)
+        UdpSink(net.host("h2"))
+        UdpCbrFlow(net.host("h1"), net.address_of("h2"), mbps(5), burstiness="cbr").run_for(1.0)
+        sim.run(until=2.0)
+        assert tracer.truncated
+        warnings = [
+            r for r in obs.events.snapshot()
+            if r.get("event") == "warning"
+            and r.get("reason") == "packet_tracer_truncated"
+        ]
+        assert len(warnings) == 1
+        assert warnings[0]["max_events"] == 3
 
     def test_probe_predicate(self, sim, line3):
         from repro.telemetry.collector import IntCollector

@@ -190,3 +190,70 @@ def test_faults_run_accepts_jobs_flag(capsys):
     rc = main(["faults", "--run", "probe-blackout", "--scale", "smoke"])
     assert rc == 0
     assert "scenario: probe-blackout" in capsys.readouterr().out
+
+
+def test_compare_trace_out_and_profile(capsys, tmp_path):
+    from repro.obs.export import read_jsonl
+
+    trace_out = tmp_path / "trace.jsonl"
+    rc = main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--trace-out", str(trace_out), "--profile",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "span records written" in out
+    assert "engine profile:" in out
+    records = read_jsonl(str(trace_out))
+    assert records and all(r["kind"] == "span" for r in records)
+    names = {r["name"] for r in records}
+    assert {"task", "scheduling", "transfer", "execute", "probe", "hop"} <= names
+    policies = {r["run"]["policy"] for r in records}
+    assert "aware" in policies and len(policies) >= 2
+
+
+def test_trace_report_command(capsys, tmp_path):
+    import json
+
+    trace_out = tmp_path / "trace.jsonl"
+    main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--trace-out", str(trace_out),
+    ])
+    capsys.readouterr()
+    chrome_out = tmp_path / "chrome.json"
+    report_out = tmp_path / "report.txt"
+    rc = main([
+        "trace-report", str(trace_out),
+        "--chrome", str(chrome_out), "--out", str(report_out),
+    ])
+    assert rc == 0
+    text = report_out.read_text()
+    assert "critical path" in text
+    assert "Algorithm-1 estimate" in text
+    doc = json.loads(chrome_out.read_text())
+    assert doc["traceEvents"]
+    assert {e["ph"] for e in doc["traceEvents"]} <= {"M", "X"}
+
+
+def test_trace_report_missing_file(capsys):
+    rc = main(["trace-report", "/nonexistent/trace.jsonl"])
+    assert rc == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_bench_runner_reports_profile(capsys, tmp_path):
+    import json
+
+    bench_out = tmp_path / "BENCH_runner.json"
+    rc = main([
+        "bench-runner", "--scale", "smoke", "--jobs", "2",
+        "--bench-out", str(bench_out),
+    ])
+    assert rc == 0
+    report = json.loads(bench_out.read_text())
+    assert report["byte_identical"] is True
+    profile = report["profile"]
+    assert profile["events_total"] > 0
+    assert profile["queue_high_water"] > 0
+    assert profile["by_type"]
