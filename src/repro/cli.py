@@ -9,7 +9,10 @@ Commands map one-to-one onto the experiment harnesses:
 * ``faults``    — list/show/run fault-injection scenarios (robustness);
 * ``obs-report`` — summarize an observability export (``--obs-out`` file);
 * ``trace-report`` — summarize a causal span export (``--trace-out`` file);
+* ``dashboard`` — render an ``--obs-out`` export as one self-contained
+  HTML page (inline SVG sparklines / heatmap / alert timeline);
 * ``bench-runner`` — time the Fig. 5 grid serial vs parallel vs cached;
+* ``bench-compare`` — diff two bench reports and fail on regression;
 * ``cache``     — inspect or clear the on-disk run cache.
 
 Every experiment command executes its grid on :class:`repro.runner.Runner`:
@@ -17,8 +20,10 @@ Every experiment command executes its grid on :class:`repro.runner.Runner`:
 to serial), ``--cache`` reuses ``.runcache/`` results from previous
 invocations, and ``--cache-dir`` relocates the cache.  ``--trace-out PATH``
 captures causal span traces (task / probe / scheduler-decision lifecycles)
-as JSONL, and ``--profile`` prints the engine's per-event-type hot-path
-profile after the grid completes.
+as JSONL, ``--sample-interval S`` enables periodic state sampling (per-link
+utilization, queue depth, server load, telemetry staleness, decision error)
+plus health-rule alerts in the obs export, and ``--profile`` prints the
+engine's per-event-type hot-path profile after the grid completes.
 
 All output is plain text tables (`repro.experiments.report`); ``--out``
 additionally writes the report to a file.  ``--obs-out PATH`` (``compare``
@@ -124,6 +129,12 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
         help="profile the simulation engine (per-event-type counts and "
              "handler wall-time) and print the merged summary",
     )
+    parser.add_argument(
+        "--sample-interval", type=float, default=None, metavar="S",
+        help="sample network/server/scheduler state every S sim-seconds and "
+             "evaluate health rules; the time series and alerts ride on the "
+             "--obs-out export (see the dashboard command)",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace):
@@ -143,6 +154,7 @@ def _runner_from_args(args: argparse.Namespace):
         progress=progress,
         trace=bool(getattr(args, "trace_out", None)),
         profile=bool(getattr(args, "profile", False)),
+        sample_interval=getattr(args, "sample_interval", None),
     )
 
 
@@ -501,6 +513,69 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.export import read_jsonl
+
+    try:
+        records = read_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not JSONL: {exc}", file=sys.stderr)
+        return 2
+    out = args.html_out or (args.path + ".html")
+    write_dashboard(records, out, title=args.title or f"repro — {args.path}")
+    print(f"dashboard: {len(records)} records rendered to {out}")
+    return 0
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runner.bench import (
+        DEFAULT_MAX_REGRESSION,
+        compare_bench,
+        render_bench_compare,
+    )
+
+    reports = []
+    for path in (args.baseline, args.candidate):
+        try:
+            with open(path) as fh:
+                reports.append(json.load(fh))
+        except FileNotFoundError:
+            print(f"error: no such file: {path}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not JSON: {exc}", file=sys.stderr)
+            return 2
+    thresholds = {}
+    for item in args.threshold or []:
+        metric, _, value = item.partition("=")
+        if not value:
+            print(
+                f"error: --threshold wants METRIC=FACTOR, got {item!r}",
+                file=sys.stderr,
+            )
+            return 2
+        thresholds[metric] = float(value)
+    report = compare_bench(
+        reports[0], reports[1],
+        max_regression=(
+            args.max_regression
+            if args.max_regression is not None
+            else DEFAULT_MAX_REGRESSION
+        ),
+        thresholds=thresholds,
+    )
+    print(render_bench_compare(report))
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     import repro
 
@@ -594,6 +669,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", help="JSONL file written via --obs-out")
     p.add_argument("--out", type=str, default=None)
     p.set_defaults(fn=cmd_obs_report)
+
+    p = sub.add_parser(
+        "dashboard",
+        help="render an --obs-out JSONL export as one self-contained HTML "
+             "page (no external resources; best with --sample-interval runs)",
+    )
+    p.add_argument("path", help="JSONL file written via --obs-out")
+    p.add_argument("--html-out", type=str, default=None, metavar="PATH",
+                   help="output HTML path (default: <path>.html)")
+    p.add_argument("--title", type=str, default=None,
+                   help="page title (default: derived from the input path)")
+    p.set_defaults(fn=cmd_dashboard)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="diff two bench-runner JSON reports; exits 1 when the candidate "
+             "regresses past the allowed factor or loses byte-identity",
+    )
+    p.add_argument("baseline", help="baseline bench-runner JSON report")
+    p.add_argument("candidate", help="candidate bench-runner JSON report")
+    p.add_argument("--max-regression", type=float, default=None,
+                   metavar="FRAC",
+                   help="allowed slowdown fraction for every timing metric "
+                        "(0.5 allows 1.5x; default: 0.5)")
+    p.add_argument("--threshold", action="append", metavar="METRIC=FRAC",
+                   help="per-metric override, e.g. --threshold cached_s=2.0 "
+                        "(repeatable)")
+    p.set_defaults(fn=cmd_bench_compare)
 
     p = sub.add_parser(
         "trace-report",

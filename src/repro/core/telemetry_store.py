@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.simnet.engine import Simulator
 from repro.telemetry.records import ProbeReport, TelemetryNodeId
@@ -168,6 +168,11 @@ class TelemetryStore:
         if seen is None:
             return None
         return self.sim.now - seen
+
+    def seen_nodes(self) -> List[TelemetryNodeId]:
+        """Every node ever observed on a probe path, sorted — the staleness
+        sampler's iteration domain (pair each with :meth:`node_age`)."""
+        return sorted(self._node_seen)
 
     def known_link_count(self) -> int:
         return len(self._links)

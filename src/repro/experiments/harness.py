@@ -410,6 +410,21 @@ def run_experiment(config: ExperimentConfig, *, obs=None, profiler=None) -> Expe
     )
     background.start()
 
+    # Periodic state sampling + health rules (opt-in via the hub's
+    # sample_interval).  The sampler event only *reads* simulation state, so
+    # enabling it cannot perturb task outcomes.
+    if obs and getattr(obs, "timeseries", None) is not None:
+        obs.attach_experiment_samplers(
+            servers=servers,
+            collector=collector,
+            store=getattr(scheduler, "store", None),
+            probing_interval=config.probing_interval,
+        )
+        sampler = PeriodicTimer(
+            sim, obs.timeseries.interval, obs.sample_tick, sim
+        )
+        sampler.start()
+
     # Stop as soon as every task completed (or failed).
     def check_done() -> None:
         if generator.jobs_submitted == len(plan.jobs) and metrics.all_done():

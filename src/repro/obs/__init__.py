@@ -25,8 +25,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.obs.audit import DecisionAudit, NetworkGroundTruth, node_label
+from repro.obs.audit import (
+    DecisionAudit,
+    NetworkGroundTruth,
+    delay_error_stats,
+    node_label,
+)
 from repro.obs.events import EVENT_KINDS, Event, EventLog
+from repro.obs.health import HealthMonitor, HealthRule, default_rules
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -35,6 +41,8 @@ from repro.obs.metrics import (
     NullSink,
     NULL_SINK,
 )
+from repro.obs.quantiles import QuantileDigest
+from repro.obs.timeseries import Series, TimeSeriesStore
 from repro.obs.tracing import Span, SpanTracer
 
 __all__ = [
@@ -54,6 +62,12 @@ __all__ = [
     "NULL_OBS",
     "Span",
     "SpanTracer",
+    "QuantileDigest",
+    "Series",
+    "TimeSeriesStore",
+    "HealthMonitor",
+    "HealthRule",
+    "default_rules",
 ]
 
 # The disabled-observability singleton: falsy, absorbs any call chain.
@@ -78,6 +92,9 @@ class Observability:
         trace: bool = False,
         trace_probe_sample: int = 25,
         max_spans: Optional[int] = None,
+        sample_interval: Optional[float] = None,
+        ts_capacity: Optional[int] = None,
+        health_rules: Optional[Any] = None,
     ) -> None:
         if probe_sample < 1:
             raise ValueError("probe_sample must be >= 1")
@@ -106,6 +123,22 @@ class Observability:
         self._probe_tick = 0
         self.queue_threshold_fraction = queue_threshold_fraction
         self.ground_truth: Optional[NetworkGroundTruth] = None
+        # Periodic sampling is opt-in like tracing: None unless a
+        # sample_interval was given, so disabled runs schedule no sampler
+        # events and export a byte-identical record stream.
+        self.timeseries: Optional[TimeSeriesStore] = (
+            TimeSeriesStore(
+                sample_interval,
+                **({} if ts_capacity is None else {"capacity": ts_capacity}),
+            )
+            if sample_interval is not None
+            else None
+        )
+        # Built by attach_experiment_samplers once the probing interval is
+        # known (the default rules are parameterized by it); an explicit
+        # rule set here overrides the defaults.
+        self.health: Optional[HealthMonitor] = None
+        self._health_rules = health_rules
 
     def __bool__(self) -> bool:
         return True
@@ -146,6 +179,143 @@ class Observability:
                 "a": self.metrics.counter("link_bytes_total", link=name, direction="a"),
                 "b": self.metrics.counter("link_bytes_total", link=name, direction="b"),
             }
+        if self.timeseries is not None:
+            self._register_network_samplers(network)
+
+    def _register_network_samplers(self, network: Any) -> None:
+        """Per-tick samplers over live network state: egress queue depth
+        (absolute and as a fraction of capacity, the saturation-rule input)
+        and per-direction link utilization from carried-byte deltas."""
+        ts = self.timeseries
+        assert ts is not None
+        nodes = sorted(
+            list(network.hosts.values()) + list(network.switches.values()),
+            key=lambda n: n.name,
+        )
+        queues = [
+            (f"{node.name}[{port.port_index}]", port.queue)
+            for node in nodes
+            for port in node.ports
+        ]
+        links = [network.links[name] for name in sorted(network.links)]
+        prev_bytes: Dict[Any, int] = {}
+
+        def sample_network(store: TimeSeriesStore, now: float) -> None:
+            for label, queue in queues:
+                store.record("queue_depth", now, queue.depth, queue=label)
+                store.record(
+                    "queue_depth_frac", now,
+                    queue.depth / queue.capacity if queue.capacity else 0.0,
+                    queue=label,
+                )
+            for link in links:
+                for direction, rate in (
+                    ("a", link.rate_ab_bps), ("b", link.rate_ba_bps)
+                ):
+                    carried = link.bytes_carried[direction]
+                    key = (link.name, direction)
+                    delta = carried - prev_bytes.get(key, 0)
+                    prev_bytes[key] = carried
+                    store.record(
+                        "link_utilization", now,
+                        (delta * 8.0) / (rate * store.interval),
+                        link=link.name, direction=direction,
+                    )
+
+        ts.register(sample_network)
+
+    def attach_experiment_samplers(
+        self,
+        *,
+        servers: Optional[Dict[str, Any]] = None,
+        collector: Optional[Any] = None,
+        store: Optional[Any] = None,
+        probing_interval: Optional[float] = None,
+    ) -> None:
+        """Wire harness-level samplers (server load, telemetry staleness,
+        probe loss rate, decision error) and build the health monitor.
+        No-op unless sampling is enabled."""
+        ts = self.timeseries
+        if ts is None:
+            return
+
+        if servers:
+            ordered = [(name, servers[name]) for name in sorted(servers)]
+
+            def sample_servers(s: TimeSeriesStore, now: float) -> None:
+                for name, server in ordered:
+                    s.record("server_running", now, server.running, server=name)
+                    s.record("server_queued", now, len(server.queued), server=name)
+
+            ts.register(sample_servers)
+
+        if store is not None:
+
+            def sample_staleness(s: TimeSeriesStore, now: float) -> None:
+                for node in store.seen_nodes():
+                    age = store.node_age(node)
+                    if age is not None:
+                        s.record(
+                            "telemetry_node_age", now, age, node=node_label(node)
+                        )
+
+            ts.register(sample_staleness)
+
+        if collector is not None:
+            prev = {"ingested": 0, "lost": 0}
+
+            def sample_collector(s: TimeSeriesStore, now: float) -> None:
+                ingested = collector.reports_ingested
+                lost = collector.probes_lost
+                d_in = ingested - prev["ingested"]
+                d_lost = lost - prev["lost"]
+                prev["ingested"] = ingested
+                prev["lost"] = lost
+                total = d_in + d_lost
+                s.record("probe_loss_rate", now, d_lost / total if total else 0.0)
+                s.record("probe_report_rate", now, d_in / s.interval)
+
+            ts.register(sample_collector)
+
+        # Estimate-vs-truth drift over the decisions recorded since the
+        # previous tick; a tick with no new delay decisions records nothing,
+        # leaving health streaks untouched.
+        cursor = {"i": 0}
+
+        def sample_decision_error(s: TimeSeriesStore, now: float) -> None:
+            decisions = self.audit.decisions
+            start = cursor["i"]
+            if start >= len(decisions):
+                return
+            cursor["i"] = len(decisions)
+            stats = delay_error_stats(
+                c
+                for d in decisions[start:]
+                if d.metric == "delay"
+                for c in d.candidates
+            )
+            mae = stats["mean_abs_error"]
+            if mae is not None:
+                s.record("decision_abs_error", now, mae)
+
+        ts.register(sample_decision_error)
+
+        rules = self._health_rules
+        if rules is None and probing_interval is not None:
+            rules = default_rules(probing_interval)
+        if rules:
+            self.health = HealthMonitor(rules, self.events)
+
+    def sample_tick(self, sim: Any) -> None:
+        """One sampler tick: run every registered sampler at ``sim.now`` and
+        evaluate health rules against the values just recorded.  Scheduled
+        by the harness as a PeriodicTimer; reads state, never mutates it."""
+        if self.timeseries is None:
+            return
+        now = sim.now
+        self.timeseries.tick(now)
+        if self.health is not None:
+            self.health.evaluate(self.timeseries, now)
 
     # -- instrumentation entry points (terse, hot-path-friendly) -----------
 
@@ -215,6 +385,10 @@ class Observability:
         records = (
             self.metrics.snapshot() + self.events.snapshot() + self.audit.snapshot()
         )
+        # Time-series records go last so the metrics/events/audit prefix is
+        # byte-identical whether or not sampling was enabled.
+        if self.timeseries is not None:
+            records += self.timeseries.snapshot()
         if self.run:
             run = dict(self.run)
             for record in records:
@@ -249,4 +423,12 @@ class Observability:
         if self.trace is not None:
             out["spans"] = len(self.trace)
             out["spans_dropped"] = self.trace.dropped_spans
+        if self.timeseries is not None:
+            out["timeseries"] = {
+                "interval": self.timeseries.interval,
+                "series": len(self.timeseries),
+                "ticks": self.timeseries.ticks,
+            }
+        if self.health is not None:
+            out["health"] = self.health.summary()
         return out

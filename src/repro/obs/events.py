@@ -34,6 +34,7 @@ EVENT_KINDS = {
     "fault_recovered":  ("fault", "target"),
     "node_quarantined": ("node", "age"),
     "node_unquarantined": ("node",),
+    "alert":            ("rule", "series", "target", "value", "threshold", "state"),
 }
 
 DEFAULT_MAX_EVENTS = 200_000
@@ -126,6 +127,27 @@ class EventLog:
 
     def node_unquarantined(self, *, node: str, **extra: Any) -> None:
         self.emit("node_unquarantined", node=node, **extra)
+
+    def alert(
+        self,
+        *,
+        rule: str,
+        series: str,
+        target: str,
+        value: float,
+        threshold: float,
+        state: str,
+        time: Optional[float] = None,
+        **extra: Any,
+    ) -> None:
+        """One health-alert edge: ``state`` is ``"fire"`` or ``"clear"``."""
+        self.emit(
+            "alert",
+            time=time,
+            rule=rule, series=series, target=target,
+            value=value, threshold=threshold, state=state,
+            **extra,
+        )
 
     # -- queries -----------------------------------------------------------
 

@@ -8,6 +8,9 @@ The wire format is one JSON object per line, discriminated by ``kind``:
   event-log record;
 * ``{"kind": "decision-audit", ...}`` — one scheduler ranking query with its
   per-candidate explanation;
+* ``{"kind": "timeseries", ...}`` — one sampled series (ring-buffered
+  points plus stride/offered bookkeeping, see :mod:`repro.obs.timeseries`),
+  present when the run sampled with ``--sample-interval``;
 * ``{"kind": "span", ...}`` — one causal-trace span (see
   :mod:`repro.obs.tracing`), written to a separate ``--trace-out`` file and
   summarized by ``repro trace-report``.
@@ -26,6 +29,7 @@ import json
 from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.obs.audit import delay_error_stats
+from repro.obs.quantiles import QuantileDigest
 
 __all__ = [
     "write_jsonl",
@@ -56,7 +60,10 @@ def read_jsonl(path: str) -> List[Dict[str, Any]]:
     return out
 
 
-_CSV_FIELDS = ("name", "type", "labels", "value", "count", "sum", "mean", "updated_at")
+_CSV_FIELDS = (
+    "name", "type", "labels", "value", "count", "sum", "mean",
+    "p50", "p95", "p99", "updated_at",
+)
 
 
 def _escape_label(text: str) -> str:
@@ -102,6 +109,10 @@ def _fmt_ms(value: Any) -> str:
     return f"{value * 1e3:.2f} ms" if isinstance(value, (int, float)) else "n/a"
 
 
+def _fmt_s(value: Any) -> str:
+    return f"{value:.3f} s" if isinstance(value, (int, float)) else "n/a"
+
+
 def render_obs_report(records: List[Dict[str, Any]]) -> str:
     """Human-readable summary of one observability export."""
     by_kind: Dict[str, int] = {}
@@ -110,7 +121,8 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
     lines = [
         f"records: {len(records)} "
         f"(metric {by_kind.get('metric', 0)}, event {by_kind.get('event', 0)}, "
-        f"decision-audit {by_kind.get('decision-audit', 0)})",
+        f"decision-audit {by_kind.get('decision-audit', 0)}, "
+        f"timeseries {by_kind.get('timeseries', 0)})",
     ]
 
     event_counts: Dict[str, int] = {}
@@ -122,6 +134,66 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
         lines.append("events by kind:")
         for name, count in sorted(event_counts.items()):
             lines.append(f"  {name:<18} {count}")
+
+    # Per-run completion-time quantiles: merge the task_completion_seconds
+    # histogram digests (per size class) into one per-run digest — merging
+    # is exact, so this equals a digest built from every raw observation.
+    digest_runs: Dict[Tuple[Tuple[str, Any], ...], QuantileDigest] = {}
+    for record in records:
+        if (
+            record.get("kind") == "metric"
+            and record.get("type") == "histogram"
+            and record.get("name") == "task_completion_seconds"
+            and record.get("digest")
+        ):
+            digest = QuantileDigest.from_dict(record["digest"])
+            key = _run_key(record)
+            if key in digest_runs:
+                digest_runs[key].merge(digest)
+            else:
+                digest_runs[key] = digest
+    if digest_runs:
+        lines.append("completion-time quantiles (per run, merged digests):")
+        for key in sorted(digest_runs):
+            digest = digest_runs[key]
+            label = (
+                ", ".join(f"{k}={v}" for k, v in key) if key else "(unlabeled run)"
+            )
+            p50, p95, p99 = digest.quantiles((0.50, 0.95, 0.99))
+            lines.append(
+                f"  {label}: n={digest.count} "
+                f"p50 {_fmt_s(p50)}, p95 {_fmt_s(p95)}, p99 {_fmt_s(p99)}, "
+                f"max {_fmt_s(digest.max)}"
+            )
+
+    # Health-alert summary: fire/clear edge counts per rule, plus any
+    # alerts still firing at export time.
+    alert_rules: Dict[str, Dict[str, int]] = {}
+    open_alerts: Dict[Tuple[str, str], int] = {}
+    for record in records:
+        if record.get("kind") == "event" and record.get("event") == "alert":
+            rule = str(record.get("rule", "?"))
+            state = str(record.get("state", "?"))
+            counts = alert_rules.setdefault(rule, {"fire": 0, "clear": 0})
+            counts[state] = counts.get(state, 0) + 1
+            key = (rule, str(record.get("target", "")))
+            if state == "fire":
+                open_alerts[key] = open_alerts.get(key, 0) + 1
+            elif state == "clear":
+                open_alerts[key] = open_alerts.get(key, 0) - 1
+    if alert_rules:
+        lines.append("health alerts:")
+        for rule in sorted(alert_rules):
+            counts = alert_rules[rule]
+            still = sorted(
+                target for (r, target), n in open_alerts.items()
+                if r == rule and n > 0
+            )
+            suffix = f"; still firing: {', '.join(still)}" if still else ""
+            lines.append(
+                f"  {rule:<18} fired {counts.get('fire', 0)}, "
+                f"cleared {counts.get('clear', 0)}{suffix}"
+            )
 
     # Per-run probe-loss summary from the collector's seq-gap detection:
     # each probe_lost event carries the size of one sequence gap.

@@ -16,6 +16,8 @@ from __future__ import annotations
 import bisect
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.quantiles import QuantileDigest
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -132,7 +134,7 @@ class Histogram:
 
     __slots__ = (
         "name", "labels", "buckets", "counts", "count", "sum",
-        "min", "max", "updated_at", "_clock",
+        "min", "max", "updated_at", "_clock", "digest",
     )
 
     kind = "histogram"
@@ -157,6 +159,9 @@ class Histogram:
         self.max: Optional[float] = None
         self.updated_at = 0.0
         self._clock = clock
+        # Mergeable quantile sketch alongside the fixed buckets, so exports
+        # carry p50/p95/p99 without storing raw observations.
+        self.digest = QuantileDigest()
 
     def observe(self, value: float) -> None:
         self.counts[bisect.bisect_left(self.buckets, value)] += 1
@@ -166,11 +171,17 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.digest.add(value)
         self.updated_at = self._clock()
 
     @property
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The q-quantile of every observed value (digest-backed; ~one bin
+        width of relative error), or None when empty."""
+        return self.digest.quantile(q)
 
     def snapshot(self) -> Dict[str, Any]:
         return {
@@ -183,10 +194,14 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.digest.quantile(0.50),
+            "p95": self.digest.quantile(0.95),
+            "p99": self.digest.quantile(0.99),
             "buckets": {
                 **{str(b): c for b, c in zip(self.buckets, self.counts)},
                 "+Inf": self.counts[-1],
             },
+            "digest": self.digest.to_dict(),
             "updated_at": self.updated_at,
         }
 

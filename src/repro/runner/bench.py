@@ -24,7 +24,22 @@ from repro.runner.cache import ResultCache
 from repro.runner.runner import Runner, RunResult, expand_grid
 from repro.runner.spec import RunSpec
 
-__all__ = ["bench_grid_specs", "run_bench"]
+__all__ = [
+    "bench_grid_specs",
+    "run_bench",
+    "compare_bench",
+    "render_bench_compare",
+    "DEFAULT_MAX_REGRESSION",
+]
+
+# A candidate timing may be up to (1 + this) x the baseline before the
+# comparison flags a regression.  Generous by default: bench numbers come
+# from heterogeneous hosts (laptops, CI runners) and only order-of-magnitude
+# slowdowns are actionable without a pinned machine.
+DEFAULT_MAX_REGRESSION = 0.5
+
+# The wall-clock metrics a bench report carries, in report order.
+_TIMING_METRICS = ("serial_s", "parallel_s", "cached_s")
 
 
 def bench_grid_specs(scale: str = "smoke", seed: int = 0) -> List[RunSpec]:
@@ -129,3 +144,106 @@ def run_bench(
             "platform": sys.platform,
         },
     }
+
+
+def compare_bench(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    *,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    thresholds: Optional[Dict[str, float]] = None,
+) -> Dict[str, Any]:
+    """Diff two ``run_bench`` reports; the regression gate behind
+    ``repro bench-compare``.
+
+    Checks, in order: the candidate's ``byte_identical`` claim must hold
+    (a correctness failure regardless of timing); the grids must describe
+    the same workload (figure/scale/runs — seed may differ); and each
+    timing metric's ratio ``candidate / baseline`` must stay at or below
+    ``1 + threshold``, where ``thresholds`` overrides ``max_regression``
+    per metric (e.g. ``{"cached_s": 2.0}``).  Metrics missing from either
+    report are skipped and reported as such.  Returns a JSON-ready report;
+    ``ok`` is the overall verdict."""
+    if max_regression < 0:
+        raise ValueError(f"max_regression must be >= 0, got {max_regression}")
+    thresholds = dict(thresholds or {})
+    failures: List[str] = []
+
+    if not candidate.get("byte_identical", False):
+        failures.append(
+            "candidate is not byte-identical across executors: "
+            + ", ".join(candidate.get("diverging_cells", []) or ["(no detail)"])
+        )
+    base_grid = dict(baseline.get("grid", {}))
+    cand_grid = dict(candidate.get("grid", {}))
+    for field in ("figure", "scale", "runs"):
+        if base_grid.get(field) != cand_grid.get(field):
+            failures.append(
+                f"grid mismatch on {field!r}: baseline "
+                f"{base_grid.get(field)!r} vs candidate {cand_grid.get(field)!r}"
+            )
+
+    rows: List[Dict[str, Any]] = []
+    for metric in _TIMING_METRICS:
+        threshold = float(thresholds.get(metric, max_regression))
+        base_v = baseline.get(metric)
+        cand_v = candidate.get(metric)
+        row: Dict[str, Any] = {
+            "metric": metric,
+            "baseline": base_v,
+            "candidate": cand_v,
+            "threshold": threshold,
+        }
+        if not isinstance(base_v, (int, float)) or not isinstance(
+            cand_v, (int, float)
+        ) or base_v <= 0:
+            row["status"] = "skipped"
+            row["ratio"] = None
+        else:
+            ratio = cand_v / base_v
+            row["ratio"] = round(ratio, 3)
+            if ratio > 1.0 + threshold:
+                row["status"] = "regression"
+                failures.append(
+                    f"{metric}: {cand_v:.3f}s vs baseline {base_v:.3f}s "
+                    f"({ratio:.2f}x > {1.0 + threshold:.2f}x allowed)"
+                )
+            else:
+                row["status"] = "ok"
+        rows.append(row)
+
+    return {
+        "ok": not failures,
+        "max_regression": max_regression,
+        "rows": rows,
+        "failures": failures,
+        "baseline_grid": base_grid,
+        "candidate_grid": cand_grid,
+    }
+
+
+def render_bench_compare(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a ``compare_bench`` report."""
+    lines = ["bench-compare"]
+    lines.append(
+        f"  grid: {report['candidate_grid'].get('figure')}"
+        f"/{report['candidate_grid'].get('scale')} "
+        f"({report['candidate_grid'].get('runs')} runs)"
+    )
+    for row in report["rows"]:
+        base = row["baseline"]
+        cand = row["candidate"]
+        ratio = row["ratio"]
+        lines.append(
+            f"  {row['metric']:<12} "
+            f"base={base if base is not None else '-':>8} "
+            f"cand={cand if cand is not None else '-':>8} "
+            f"ratio={ratio if ratio is not None else '-':>6} "
+            f"(allowed {1.0 + row['threshold']:.2f}x) [{row['status']}]"
+        )
+    if report["failures"]:
+        lines.append("  FAILURES:")
+        for failure in report["failures"]:
+            lines.append(f"    - {failure}")
+    lines.append(f"  verdict: {'OK' if report['ok'] else 'REGRESSION'}")
+    return "\n".join(lines)

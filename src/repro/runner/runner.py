@@ -160,21 +160,24 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
 
         obs = None
         labels = spec.obs_run()
-        if labels is not None or spec.trace:
+        sampled = getattr(spec, "sample_interval", None)
+        if labels is not None or spec.trace or sampled is not None:
             from repro.obs import Observability
 
             if labels is None:
-                # Traced run without explicit obs labels: synthesize the grid
-                # identity so multi-cell trace files stay separable.
+                # Instrumented run without explicit obs labels: synthesize
+                # the grid identity so multi-cell exports stay separable.
                 labels = {
                     "policy": spec.policy,
                     "size_class": spec.size_class,
                     "seed": spec.seed,
                 }
-            obs = Observability(run=labels, trace=spec.trace)
+            obs = Observability(
+                run=labels, trace=spec.trace, sample_interval=sampled
+            )
         result = run_experiment(spec.to_config(), obs=obs, profiler=profiler)
         payload = result_to_dict(result, include_tasks=True)
-        if obs is not None and spec.obs_run() is not None:
+        if obs is not None and (spec.obs_run() is not None or sampled is not None):
             payload["obs_records"] = obs.snapshot_records()
         if obs is not None and spec.trace:
             payload["trace_records"] = obs.trace_records()
@@ -304,6 +307,7 @@ class Runner:
         obs: Optional[Any] = None,
         trace: bool = False,
         profile: bool = False,
+        sample_interval: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
@@ -312,10 +316,11 @@ class Runner:
         self.progress = progress
         self.obs = obs
         # Instrumentation: stamp every incoming spec with these flags before
-        # hashing (so traced/profiled cells never alias plain cache entries)
-        # and accumulate the per-run outputs across run() calls.
+        # hashing (so traced/profiled/sampled cells never alias plain cache
+        # entries) and accumulate the per-run outputs across run() calls.
         self.trace = trace
         self.profile = profile
+        self.sample_interval = sample_interval
         self.trace_records: List[Dict[str, Any]] = []
         self.profiles: List[Dict[str, Any]] = []
         if obs is not None:
@@ -333,9 +338,13 @@ class Runner:
         Duplicate specs (same content hash) execute once and share their
         result object."""
         started = time.monotonic()
-        if self.trace or self.profile:
+        if self.trace or self.profile or self.sample_interval is not None:
             specs = [
-                spec.instrumented(trace=self.trace, profile=self.profile)
+                spec.instrumented(
+                    trace=self.trace,
+                    profile=self.profile,
+                    sample_interval=self.sample_interval,
+                )
                 for spec in specs
             ]
         hashes = [spec.content_hash() for spec in specs]

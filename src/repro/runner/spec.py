@@ -131,8 +131,17 @@ class RunSpec:
     # profiled and plain runs must not share cache files either.
     trace: bool = False
     profile: bool = False
+    # Periodic state sampling: sim-seconds between sampler ticks, or None
+    # for no sampling.  In the hash: a sampled run's payload carries
+    # time-series (and possibly alert) records, so it must not alias a
+    # plain run's cache entry.
+    sample_interval: Optional[float] = None
 
     def __post_init__(self) -> None:
+        if self.sample_interval is not None and self.sample_interval <= 0:
+            raise ExperimentError(
+                f"sample_interval must be positive, got {self.sample_interval}"
+            )
         if self.size_class not in _SIZE_CLASSES:
             raise ExperimentError(
                 f"unknown size class {self.size_class!r}; "
@@ -294,14 +303,31 @@ class RunSpec:
         """`dataclasses.replace` spelled as a method, for grid expansion."""
         return replace(self, **changes)
 
-    def instrumented(self, *, trace: bool = False, profile: bool = False) -> "RunSpec":
+    def instrumented(
+        self,
+        *,
+        trace: bool = False,
+        profile: bool = False,
+        sample_interval: Optional[float] = None,
+    ) -> "RunSpec":
         """This spec with instrumentation flags ORed in (identity when no
-        flag changes, so un-instrumented grids keep their spec objects)."""
+        flag changes, so un-instrumented grids keep their spec objects).
+        An already-sampled spec keeps its own interval."""
         trace = trace or self.trace
         profile = profile or self.profile
-        if trace == self.trace and profile == self.profile:
+        sample_interval = (
+            self.sample_interval if self.sample_interval is not None
+            else sample_interval
+        )
+        if (
+            trace == self.trace
+            and profile == self.profile
+            and sample_interval == self.sample_interval
+        ):
             return self
-        return replace(self, trace=trace, profile=profile)
+        return replace(
+            self, trace=trace, profile=profile, sample_interval=sample_interval
+        )
 
 
 @dataclass(frozen=True)
@@ -346,10 +372,15 @@ class CalibrationSpec:
         return replace(self, **changes)
 
     def instrumented(
-        self, *, trace: bool = False, profile: bool = False
+        self,
+        *,
+        trace: bool = False,
+        profile: bool = False,
+        sample_interval: Optional[float] = None,
     ) -> "CalibrationSpec":
-        """Profiling only — calibration runs have nothing to span-trace."""
-        del trace
+        """Profiling only — calibration runs have nothing to span-trace or
+        periodically sample."""
+        del trace, sample_interval
         if profile and not self.profile:
             return replace(self, profile=True)
         return self

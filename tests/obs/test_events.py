@@ -32,6 +32,9 @@ class TestEmission:
         log.fault_recovered(fault="link_up", target="s01<->s02")
         log.node_quarantined(node="node7", age=3.5)
         log.node_unquarantined(node="node7")
+        log.alert(rule="queue_saturation", series="queue_depth_frac",
+                  target="queue=s1[0]", value=0.95, threshold=0.9,
+                  state="fire", time=1.0)
         assert set(log.counts_by_kind()) == set(EVENT_KINDS)
 
     def test_snapshot_is_jsonl_ready(self):

@@ -1,0 +1,149 @@
+"""QuantileDigest: accuracy bounds, exact mergeability, serialization."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.quantiles import QuantileDigest
+
+
+class TestBasics:
+    def test_empty_digest_has_no_quantiles(self):
+        d = QuantileDigest()
+        assert d.quantile(0.5) is None
+        assert len(d) == 0
+
+    def test_single_value(self):
+        d = QuantileDigest()
+        d.add(1.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            # One sample: every quantile is clamped to the observed range.
+            assert d.quantile(q) == pytest.approx(1.0, rel=0.05)
+
+    def test_min_max_exact(self):
+        d = QuantileDigest()
+        d.extend([0.123, 4.567, 0.00089])
+        assert d.min == 0.00089
+        assert d.max == 4.567
+
+    def test_quantile_relative_accuracy(self):
+        rng = random.Random(7)
+        values = [rng.lognormvariate(0.0, 2.0) for _ in range(5000)]
+        d = QuantileDigest()
+        d.extend(values)
+        ordered = sorted(values)
+        for q in (0.5, 0.95, 0.99):
+            truth = ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+            got = d.quantile(q)
+            # One log-bin of relative error: 8 decades / 256 bins ~ 7.5%.
+            assert got == pytest.approx(truth, rel=0.10)
+
+    def test_out_of_range_values_clamped_to_min_max(self):
+        d = QuantileDigest(lo=1.0, hi=10.0, bins=8)
+        d.extend([0.5, 0.5, 100.0])   # all under/overflow
+        assert d.quantile(0.0) == 0.5
+        assert d.quantile(1.0) == 100.0
+        assert d.underflow == 2
+        assert d.overflow == 1
+
+    def test_nonpositive_values_go_to_underflow(self):
+        d = QuantileDigest()
+        d.add(0.0)
+        d.add(-3.0)
+        assert d.underflow == 2
+        assert d.quantile(0.5) == -3.0   # clamped to exact min
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            QuantileDigest(lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            QuantileDigest(bins=0)
+        d = QuantileDigest()
+        with pytest.raises(ValueError):
+            d.quantile(1.5)
+        with pytest.raises(ValueError):
+            d.add(1.0, count=0)
+
+    def test_weighted_add(self):
+        d = QuantileDigest()
+        d.add(1.0, count=99)
+        d.add(100.0, count=1)
+        assert d.count == 100
+        assert d.quantile(0.5) == pytest.approx(1.0, rel=0.05)
+
+
+class TestMerge:
+    def _digest(self, values):
+        d = QuantileDigest()
+        d.extend(values)
+        return d
+
+    def test_merge_equals_single_pass(self):
+        rng = random.Random(13)
+        values = [rng.expovariate(1.0) for _ in range(900)]
+        whole = self._digest(values)
+        parts = [
+            self._digest(values[:300]),
+            self._digest(values[300:600]),
+            self._digest(values[600:]),
+        ]
+        merged = parts[0]
+        merged.merge(parts[1]).merge(parts[2])
+        # Bit-exact: merging integer bin counts loses nothing.
+        assert merged.to_dict() == whole.to_dict()
+
+    def test_merge_associative_and_commutative_exactly(self):
+        rng = random.Random(5)
+        chunks = [[rng.expovariate(2.0) for _ in range(100)] for _ in range(3)]
+        a, b, c = (self._digest(chunk) for chunk in chunks)
+        ab_c = a.merged(b).merged(c)
+        a_bc = self._digest(chunks[0]).merged(
+            self._digest(chunks[1]).merged(self._digest(chunks[2]))
+        )
+        c_b_a = self._digest(chunks[2]).merged(
+            self._digest(chunks[1])
+        ).merged(self._digest(chunks[0]))
+        assert ab_c.to_dict() == a_bc.to_dict() == c_b_a.to_dict()
+
+    def test_merge_empty_is_identity(self):
+        d = self._digest([1.0, 2.0, 3.0])
+        before = d.to_dict()
+        d.merge(QuantileDigest())
+        assert d.to_dict() == before
+
+    def test_mismatched_layout_raises(self):
+        with pytest.raises(ValueError):
+            QuantileDigest().merge(QuantileDigest(bins=16))
+        with pytest.raises(ValueError):
+            QuantileDigest().merge(QuantileDigest(lo=1e-3, hi=1e4))
+
+    def test_merged_does_not_mutate(self):
+        a = self._digest([1.0])
+        b = self._digest([2.0])
+        before_a, before_b = a.to_dict(), b.to_dict()
+        out = a.merged(b)
+        assert a.to_dict() == before_a
+        assert b.to_dict() == before_b
+        assert out.count == 2
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        d = QuantileDigest()
+        d.extend([0.001, 0.5, 7.0, 2e5, -1.0])
+        back = QuantileDigest.from_dict(d.to_dict())
+        assert back == d
+        assert back.quantile(0.5) == d.quantile(0.5)
+
+    def test_to_dict_is_json_ready(self):
+        import json
+
+        d = QuantileDigest()
+        d.extend([0.1, 1.0, 10.0])
+        text = json.dumps(d.to_dict(), sort_keys=True)
+        assert QuantileDigest.from_dict(json.loads(text)) == d
+
+    def test_empty_round_trip(self):
+        d = QuantileDigest()
+        assert QuantileDigest.from_dict(d.to_dict()) == d

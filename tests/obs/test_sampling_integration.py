@@ -1,0 +1,105 @@
+"""End-to-end: periodic sampling + health rules on a real experiment run."""
+
+import pytest
+
+from repro.edge.task import SizeClass
+from repro.experiments.harness import (
+    POLICY_AWARE,
+    ExperimentConfig,
+    ExperimentScale,
+    run_experiment,
+)
+from repro.obs import HealthRule, Observability
+
+pytestmark = pytest.mark.slow
+
+TINY = ExperimentScale(size_scale=0.05, total_tasks=6, mean_interarrival=0.4, time_scale=0.08)
+
+
+def _run(policy=POLICY_AWARE, **obs_kw):
+    obs = Observability(run={"policy": policy}, **obs_kw)
+    config = ExperimentConfig(
+        policy=policy, size_class=SizeClass.VS, scale=TINY, seed=11
+    )
+    res = run_experiment(config, obs=obs)
+    return res, obs
+
+
+class TestSampledRun:
+    def test_expected_series_present(self):
+        _, obs = _run(sample_interval=0.5)
+        assert obs.timeseries is not None
+        assert obs.timeseries.ticks > 0
+        names = set(obs.timeseries.names())
+        assert {
+            "link_utilization", "queue_depth", "queue_depth_frac",
+            "server_running", "server_queued", "telemetry_node_age",
+            "probe_loss_rate",
+        } <= names
+
+    def test_health_monitor_built_from_probing_interval(self):
+        _, obs = _run(sample_interval=0.5)
+        assert obs.health is not None
+        assert {r.name for r in obs.health.rules} == {
+            "queue_saturation", "telemetry_stale", "estimate_drift", "probe_loss",
+        }
+
+    def test_timeseries_records_appended_after_existing_kinds(self):
+        _, obs = _run(sample_interval=0.5)
+        records = obs.snapshot_records()
+        kinds = [r["kind"] for r in records]
+        assert "timeseries" in kinds
+        # All timeseries records come after every other kind (prefix
+        # byte-identity when sampling is disabled).
+        first_ts = kinds.index("timeseries")
+        assert all(k == "timeseries" for k in kinds[first_ts:])
+        assert all(r["run"] == {"policy": POLICY_AWARE} for r in records)
+
+    def test_unsampled_hub_records_unchanged_by_feature(self):
+        _, plain = _run()
+        assert plain.timeseries is None
+        assert plain.health is None
+        records = plain.snapshot_records()
+        assert all(r["kind"] != "timeseries" for r in records)
+        assert not any(
+            r.get("event") == "alert" for r in records if r["kind"] == "event"
+        )
+
+    def test_sampling_does_not_perturb_task_outcomes(self):
+        res_plain, _ = _run()
+        res_sampled, _ = _run(sample_interval=0.5)
+        plain = [
+            (r.task_id, r.server_addr, r.completion_time)
+            for r in res_plain.records_in_order
+        ]
+        sampled = [
+            (r.task_id, r.server_addr, r.completion_time)
+            for r in res_sampled.records_in_order
+        ]
+        assert plain == sampled
+
+    def test_custom_health_rules_override_defaults(self):
+        # A rule guaranteed to fire: any utilization >= 0 for one tick.
+        rules = [
+            HealthRule("always", series="probe_loss_rate",
+                       threshold=0.0, consecutive=1)
+        ]
+        _, obs = _run(sample_interval=0.5, health_rules=rules)
+        assert [r.name for r in obs.health.rules] == ["always"]
+        alerts = obs.events.of_kind("alert")
+        assert alerts and alerts[0].fields["rule"] == "always"
+
+    def test_summary_includes_sampling_sections(self):
+        _, obs = _run(sample_interval=0.5)
+        summary = obs.summary()
+        assert summary["timeseries"]["interval"] == 0.5
+        assert summary["timeseries"]["ticks"] == obs.timeseries.ticks
+        assert summary["health"]["rules"] == 4
+
+    def test_link_utilization_values_sane(self):
+        _, obs = _run(sample_interval=0.5)
+        for series in obs.timeseries.all_series():
+            if series.name != "link_utilization":
+                continue
+            for _t, value in series.points:
+                assert 0.0 <= value <= 2.0, series.snapshot()

@@ -1,0 +1,125 @@
+"""Series ring buffer + TimeSeriesStore: decimation invariants, sampling."""
+
+import pytest
+
+from repro.obs.timeseries import Series, TimeSeriesStore
+
+
+def _fill(series, n, t0=0.0, dt=1.0):
+    for i in range(n):
+        series.offer(t0 + i * dt, float(i))
+
+
+class TestSeriesDecimation:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Series("x", (), capacity=3)
+        with pytest.raises(ValueError):
+            Series("x", (), capacity=0)
+
+    def test_no_decimation_below_capacity(self):
+        s = Series("x", (), capacity=8)
+        _fill(s, 7)
+        assert s.stride == 1
+        assert [v for _, v in s.points] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+
+    def test_stride_doubles_on_overflow(self):
+        s = Series("x", (), capacity=8)
+        _fill(s, 8)
+        assert s.stride == 2
+        # Survivors are exactly the even offers.
+        assert [v for _, v in s.points] == [0.0, 2.0, 4.0, 6.0]
+
+    def test_retained_points_are_stride_multiples(self):
+        s = Series("x", (), capacity=8)
+        _fill(s, 100)
+        assert s.offered == 100
+        assert len(s.points) < s.capacity
+        # Invariant: every retained point's offer index is a multiple of the
+        # current stride (values were the offer index).
+        assert all(v % s.stride == 0 for _, v in s.points)
+
+    def test_bounded_forever(self):
+        s = Series("x", (), capacity=4)
+        _fill(s, 10_000)
+        assert len(s.points) < 4
+        assert s.offered == 10_000
+
+    def test_decimation_deterministic(self):
+        a = Series("x", (), capacity=16)
+        b = Series("x", (), capacity=16)
+        _fill(a, 1000)
+        _fill(b, 1000)
+        assert a.snapshot() == b.snapshot()
+
+    def test_snapshot_shape(self):
+        s = Series("util", (("link", "l1"),), capacity=8)
+        s.offer(0.5, 0.25)
+        snap = s.snapshot()
+        assert snap == {
+            "kind": "timeseries",
+            "name": "util",
+            "labels": {"link": "l1"},
+            "stride": 1,
+            "offered": 1,
+            "points": [[0.5, 0.25]],
+        }
+
+
+class TestStore:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesStore(-1.0)
+
+    def test_samplers_run_in_registration_order(self):
+        store = TimeSeriesStore(1.0)
+        calls = []
+        store.register(lambda s, now: calls.append(("a", now)))
+        store.register(lambda s, now: calls.append(("b", now)))
+        store.tick(2.0)
+        assert calls == [("a", 2.0), ("b", 2.0)]
+        assert store.ticks == 1
+
+    def test_record_creates_series_and_last_values(self):
+        store = TimeSeriesStore(0.5)
+        store.register(lambda s, now: s.record("depth", now, 3, queue="q0"))
+        store.tick(1.0)
+        series = store.series("depth", queue="q0")
+        assert series is not None
+        assert series.points == [(1.0, 3.0)]
+        assert store.last_values == {("depth", (("queue", "q0"),)): 3.0}
+
+    def test_last_values_reset_each_tick(self):
+        store = TimeSeriesStore(0.5)
+        seen = {"first": True}
+
+        def sampler(s, now):
+            if seen.pop("first", None):
+                s.record("x", now, 1.0)
+
+        store.register(sampler)
+        store.tick(1.0)
+        assert store.last_values
+        store.tick(2.0)
+        assert store.last_values == {}
+
+    def test_snapshot_sorted_with_interval(self):
+        store = TimeSeriesStore(0.25)
+        store.record("b", 0.0, 1.0)
+        store.record("a", 0.0, 2.0, link="z")
+        store.record("a", 0.0, 3.0, link="a")
+        snap = store.snapshot()
+        assert [(r["name"], r["labels"]) for r in snap] == [
+            ("a", {"link": "a"}), ("a", {"link": "z"}), ("b", {}),
+        ]
+        assert all(r["interval"] == 0.25 for r in snap)
+
+    def test_names(self):
+        store = TimeSeriesStore(1.0)
+        store.record("b", 0.0, 1.0)
+        store.record("a", 0.0, 1.0, link="x")
+        store.record("a", 0.0, 1.0, link="y")
+        assert store.names() == ["a", "b"]
+        assert len(store) == 3

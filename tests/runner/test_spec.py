@@ -102,6 +102,9 @@ _FIELD_CHANGES = {
     # profiled run must never alias a plain run's cache entry.
     "trace": True,
     "profile": True,
+    # Sampling changes the payload (obs_records carries the timeseries),
+    # so a sampled run must never alias a plain run's cache entry either.
+    "sample_interval": 0.5,
 }
 
 

@@ -257,3 +257,88 @@ def test_bench_runner_reports_profile(capsys, tmp_path):
     assert profile["events_total"] > 0
     assert profile["queue_high_water"] > 0
     assert profile["by_type"]
+
+
+def test_compare_sample_interval_emits_timeseries(capsys, tmp_path):
+    from repro.obs.export import read_jsonl
+
+    obs_out = tmp_path / "sampled.jsonl"
+    rc = main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--sample-interval", "0.5",
+        "--obs-out", str(obs_out),
+    ])
+    assert rc == 0
+    records = read_jsonl(str(obs_out))
+    ts = [r for r in records if r["kind"] == "timeseries"]
+    assert ts
+    names = {r["name"] for r in ts}
+    assert {"link_utilization", "queue_depth", "server_running"} <= names
+    assert all(r["interval"] == 0.5 for r in ts)
+
+
+def test_dashboard_command_writes_self_contained_html(capsys, tmp_path):
+    obs_out = tmp_path / "sampled.jsonl"
+    main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--sample-interval", "0.5",
+        "--obs-out", str(obs_out),
+    ])
+    capsys.readouterr()
+    html_out = tmp_path / "dash.html"
+    rc = main(["dashboard", str(obs_out), "--html-out", str(html_out)])
+    assert rc == 0
+    html = html_out.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<svg" in html
+    assert "http://" not in html and "https://" not in html
+    assert "<script" not in html
+
+
+def test_dashboard_missing_file(capsys):
+    rc = main(["dashboard", "/nonexistent/obs.jsonl"])
+    assert rc == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_bench_compare_identical_reports_ok(capsys, tmp_path):
+    import json
+    import shutil
+
+    baseline = tmp_path / "base.json"
+    shutil.copy("BENCH_runner.json", baseline)
+    rc = main(["bench-compare", str(baseline), str(baseline)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    # Doctored candidate: 10x serial regression trips the gate.
+    report = json.loads(baseline.read_text())
+    report["serial_s"] *= 10
+    candidate = tmp_path / "cand.json"
+    candidate.write_text(json.dumps(report))
+    rc = main(["bench-compare", str(baseline), str(candidate)])
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_bench_compare_threshold_override(capsys, tmp_path):
+    import json
+    import shutil
+
+    baseline = tmp_path / "base.json"
+    shutil.copy("BENCH_runner.json", baseline)
+    report = json.loads(baseline.read_text())
+    report["serial_s"] *= 10
+    candidate = tmp_path / "cand.json"
+    candidate.write_text(json.dumps(report))
+    rc = main([
+        "bench-compare", str(baseline), str(candidate),
+        "--threshold", "serial_s=20",
+    ])
+    assert rc == 0
+
+
+def test_bench_compare_missing_file(capsys):
+    rc = main(["bench-compare", "/nonexistent/a.json", "/nonexistent/b.json"])
+    assert rc == 2
+    assert "no such file" in capsys.readouterr().err
