@@ -11,8 +11,12 @@ Commands map one-to-one onto the experiment harnesses:
 * ``trace-report`` — summarize a causal span export (``--trace-out`` file);
 * ``dashboard`` — render an ``--obs-out`` export as one self-contained
   HTML page (inline SVG sparklines / heatmap / alert timeline);
-* ``bench-runner`` — time the Fig. 5 grid serial vs parallel vs cached;
-* ``bench-compare`` — diff two bench reports and fail on regression;
+* ``bench-runner`` — time the Fig. 5 grid serial vs parallel vs cached
+  (appends a record to the bench-history ledger, ``BENCH_history.jsonl``);
+* ``bench-compare`` — diff two bench reports and fail on regression, or
+  gate one report against the ledger's rolling baseline (``--history``);
+* ``perf-report`` — render the ledger as trend tables, sparklines, and
+  top-mover phases; optionally export a flamegraph SVG / collapsed stacks;
 * ``cache``     — inspect or clear the on-disk run cache.
 
 Every experiment command executes its grid on :class:`repro.runner.Runner`:
@@ -39,6 +43,7 @@ quarantine, showing what the faults cost an unprotected system.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import replace
@@ -72,6 +77,11 @@ from repro.experiments.report import (
 )
 
 SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
+
+# Mirrors repro.runner.bench.DEFAULT_HISTORY_PATH / DEFAULT_HISTORY_WINDOW;
+# duplicated here so building the parser never imports the runner stack.
+_DEFAULT_HISTORY = "BENCH_history.jsonl"
+_DEFAULT_WINDOW = 5
 FIGURES = {"fig5": (FIG5_CONFIG, "completion"), "fig6": (FIG6_CONFIG, "completion"),
            "fig7": (FIG7_CONFIG, "transfer")}
 _CLASSES = {c.label: c for c in SizeClass}
@@ -126,8 +136,14 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--profile", action="store_true",
-        help="profile the simulation engine (per-event-type counts and "
-             "handler wall-time) and print the merged summary",
+        help="profile the simulation engine (per-event-type counts, handler "
+             "wall-time, and phase-level hot-path attribution) and print "
+             "the merged summary",
+    )
+    parser.add_argument(
+        "--mem-profile", action="store_true",
+        help="add memory attribution (gc counters, allocated-block delta, "
+             "tracemalloc top sites) to the profile; implies --profile",
     )
     parser.add_argument(
         "--sample-interval", type=float, default=None, metavar="S",
@@ -154,13 +170,17 @@ def _runner_from_args(args: argparse.Namespace):
         progress=progress,
         trace=bool(getattr(args, "trace_out", None)),
         profile=bool(getattr(args, "profile", False)),
+        mem_profile=bool(getattr(args, "mem_profile", False)),
         sample_interval=getattr(args, "sample_interval", None),
     )
 
 
 def _finish_runner(reporter: "_Reporter", args: argparse.Namespace, runner) -> None:
     """Flush a runner's accumulated instrumentation: write the --trace-out
-    span export and print the merged --profile summary."""
+    span export and print the merged --profile summary.  With both
+    --profile and --obs-out, the merged summary also rides on the obs
+    export as one ``kind: "profile"`` record so obs-report and dashboard
+    can show it."""
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         from repro.obs.export import write_jsonl
@@ -170,12 +190,24 @@ def _finish_runner(reporter: "_Reporter", args: argparse.Namespace, runner) -> N
             f"traces: {total} span records written to {trace_out} "
             f"(summarize with: repro trace-report {trace_out})"
         )
-    if getattr(args, "profile", False):
+    if getattr(args, "profile", False) or getattr(args, "mem_profile", False):
         from repro.simnet.engine import render_profile
 
         summary = runner.profile_summary()
         if summary is not None:
             reporter.emit(render_profile(summary))
+            obs_out = getattr(args, "obs_out", None)
+            # Append only when the command actually wrote an obs export
+            # (commands that ignore --obs-out warned about it already).
+            if obs_out and os.path.exists(obs_out):
+                from repro.obs.export import write_jsonl
+
+                write_jsonl(
+                    [{"kind": "profile", "profile": summary}],
+                    obs_out,
+                    append=True,
+                )
+                reporter.emit(f"profile: summary appended to {obs_out}")
 
 
 def _add_faults(parser: argparse.ArgumentParser) -> None:
@@ -424,8 +456,17 @@ def cmd_bench_runner(args: argparse.Namespace) -> int:
     import json
 
     from repro.runner import DEFAULT_CACHE_DIR
-    from repro.runner.bench import run_bench
+    from repro.runner.bench import append_history, run_bench
 
+    cpus = os.cpu_count() or 1
+    if args.jobs > cpus:
+        print(
+            f"note: --jobs {args.jobs} exceeds this host's {cpus} CPU(s); "
+            f"the parallel timing will be annotated parallel_valid=false "
+            f"and excluded from comparisons (use --jobs {cpus} for a "
+            f"meaningful speedup number)",
+            file=sys.stderr,
+        )
     report = run_bench(
         scale=args.scale,
         jobs=args.jobs,
@@ -433,6 +474,7 @@ def cmd_bench_runner(args: argparse.Namespace) -> int:
         cache_root=args.cache_dir or DEFAULT_CACHE_DIR,
         progress=lambda line: print(line, file=sys.stderr),
         profile=args.profile,
+        mem_profile=args.mem_profile,
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -440,6 +482,14 @@ def cmd_bench_runner(args: argparse.Namespace) -> int:
         with open(args.bench_out, "w") as fh:
             fh.write(text + "\n")
         print(f"benchmark written to {args.bench_out}", file=sys.stderr)
+    if args.history:
+        append_history(report, args.history)
+        print(f"history: record appended to {args.history}", file=sys.stderr)
+    _write_profile_exports(
+        report.get("profile"),
+        flamegraph_out=args.flamegraph_out,
+        collapsed_out=args.collapsed_out,
+    )
     if not report["byte_identical"]:
         print(
             "error: parallel/cached payloads diverge from serial for: "
@@ -448,6 +498,34 @@ def cmd_bench_runner(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _write_profile_exports(
+    profile,
+    *,
+    flamegraph_out: Optional[str],
+    collapsed_out: Optional[str],
+) -> None:
+    """Write the flamegraph SVG / collapsed-stack exports of a profile
+    summary, when requested and available."""
+    if profile is None:
+        if flamegraph_out or collapsed_out:
+            print(
+                "note: no profile in the report; skipping "
+                "--flamegraph-out/--collapsed-out",
+                file=sys.stderr,
+            )
+        return
+    from repro.obs.perf import collapsed_stacks, flamegraph_svg
+
+    if flamegraph_out:
+        with open(flamegraph_out, "w") as fh:
+            fh.write(flamegraph_svg(profile))
+        print(f"flamegraph written to {flamegraph_out}", file=sys.stderr)
+    if collapsed_out:
+        with open(collapsed_out, "w") as fh:
+            fh.write(collapsed_stacks(profile))
+        print(f"collapsed stacks written to {collapsed_out}", file=sys.stderr)
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
@@ -539,11 +617,13 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.runner.bench import (
         DEFAULT_MAX_REGRESSION,
         compare_bench,
+        read_history,
         render_bench_compare,
+        rolling_baseline,
     )
 
     reports = []
-    for path in (args.baseline, args.candidate):
+    for path in args.reports:
         try:
             with open(path) as fh:
                 reports.append(json.load(fh))
@@ -553,6 +633,33 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         except json.JSONDecodeError as exc:
             print(f"error: {path} is not JSON: {exc}", file=sys.stderr)
             return 2
+    if args.history:
+        if len(reports) != 1:
+            print(
+                "error: with --history, pass exactly one candidate report",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            records = read_history(args.history)
+        except FileNotFoundError:
+            print(f"error: no such file: {args.history}", file=sys.stderr)
+            return 2
+        baseline = rolling_baseline(records, window=args.window)
+        candidate = reports[0]
+        print(
+            f"baseline: rolling median of last {baseline['baseline_of']} "
+            f"record(s) in {args.history}"
+        )
+    elif len(reports) == 2:
+        baseline, candidate = reports
+    else:
+        print(
+            "error: pass two reports (baseline candidate), or one report "
+            "with --history",
+            file=sys.stderr,
+        )
+        return 2
     thresholds = {}
     for item in args.threshold or []:
         metric, _, value = item.partition("=")
@@ -564,7 +671,7 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
             return 2
         thresholds[metric] = float(value)
     report = compare_bench(
-        reports[0], reports[1],
+        baseline, candidate,
         max_regression=(
             args.max_regression
             if args.max_regression is not None
@@ -573,7 +680,48 @@ def cmd_bench_compare(args: argparse.Namespace) -> int:
         thresholds=thresholds,
     )
     print(render_bench_compare(report))
+    if not report["ok"] and args.warn_only:
+        print(
+            "warn-only: regression reported but exit status forced to 0",
+            file=sys.stderr,
+        )
+        return 0
     return 0 if report["ok"] else 1
+
+
+def cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.obs.perf import render_perf_report
+    from repro.runner.bench import read_history
+
+    try:
+        records = read_history(args.history)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.history}", file=sys.stderr)
+        return 2
+    reporter = _Reporter(args.out)
+    reporter.emit(f"perf report — {args.history}")
+    try:
+        reporter.emit(
+            render_perf_report(
+                records, frm=args.frm, to=args.to, movers=args.movers
+            )
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if records and (args.flamegraph_out or args.collapsed_out):
+        idx = args.to if args.to is not None else -1
+        try:
+            profile = records[idx].get("profile")
+        except IndexError:
+            profile = None
+        _write_profile_exports(
+            profile,
+            flamegraph_out=args.flamegraph_out,
+            collapsed_out=args.collapsed_out,
+        )
+    reporter.close()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -658,6 +806,23 @@ def build_parser() -> argparse.ArgumentParser:
                    default=True,
                    help="include the merged engine profile in the report "
                         "(default: --profile)")
+    p.add_argument("--mem-profile", action="store_true",
+                   help="add memory attribution (gc counters, tracemalloc "
+                        "top sites) to the profile; implies --profile")
+    p.add_argument("--history", type=str, nargs="?",
+                   default=_DEFAULT_HISTORY, const=_DEFAULT_HISTORY,
+                   metavar="PATH",
+                   help="append the report to this bench-history ledger "
+                        f"(default: {_DEFAULT_HISTORY}; see perf-report)")
+    p.add_argument("--no-history", dest="history",
+                   action="store_const", const=None,
+                   help="skip the bench-history ledger append")
+    p.add_argument("--flamegraph-out", type=str, default=None, metavar="PATH",
+                   help="write the profile's phase flamegraph as a "
+                        "self-contained SVG")
+    p.add_argument("--collapsed-out", type=str, default=None, metavar="PATH",
+                   help="write the profile's phases in collapsed-stack "
+                        "format (flamegraph.pl / speedscope compatible)")
     p.set_defaults(fn=cmd_bench_runner)
 
     p = sub.add_parser("cache", help="inspect or clear the run cache")
@@ -684,11 +849,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench-compare",
-        help="diff two bench-runner JSON reports; exits 1 when the candidate "
+        help="diff two bench-runner JSON reports (or one report against the "
+             "bench-history rolling baseline); exits 1 when the candidate "
              "regresses past the allowed factor or loses byte-identity",
     )
-    p.add_argument("baseline", help="baseline bench-runner JSON report")
-    p.add_argument("candidate", help="candidate bench-runner JSON report")
+    p.add_argument("reports", nargs="+",
+                   help="bench-runner JSON reports: baseline candidate, or "
+                        "just the candidate with --history")
+    p.add_argument("--history", type=str, default=None, metavar="PATH",
+                   help="gate the single candidate report against the "
+                        "rolling-median baseline of this ledger's last "
+                        "--window records")
+    p.add_argument("--window", type=int, default=_DEFAULT_WINDOW, metavar="N",
+                   help="rolling-baseline window for --history "
+                        f"(default: {_DEFAULT_WINDOW})")
+    p.add_argument("--warn-only", action="store_true",
+                   help="report regressions but always exit 0 (for advisory "
+                        "CI jobs on unpinned hardware)")
     p.add_argument("--max-regression", type=float, default=None,
                    metavar="FRAC",
                    help="allowed slowdown fraction for every timing metric "
@@ -697,6 +874,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-metric override, e.g. --threshold cached_s=2.0 "
                         "(repeatable)")
     p.set_defaults(fn=cmd_bench_compare)
+
+    p = sub.add_parser(
+        "perf-report",
+        help="render the bench-history ledger: metric trends with "
+             "sparklines and the top phase movers between two records",
+    )
+    p.add_argument("history", nargs="?", default=_DEFAULT_HISTORY,
+                   help="bench-history JSONL ledger "
+                        f"(default: {_DEFAULT_HISTORY})")
+    p.add_argument("--from", dest="frm", type=int, default=0, metavar="IDX",
+                   help="older record index for the movers diff (negative "
+                        "counts from the end; default: 0 = oldest)")
+    p.add_argument("--to", dest="to", type=int, default=-1, metavar="IDX",
+                   help="newer record index for the movers diff "
+                        "(default: -1 = newest)")
+    p.add_argument("--movers", type=int, default=10, metavar="N",
+                   help="how many top phase movers to list (default: 10)")
+    p.add_argument("--flamegraph-out", type=str, default=None, metavar="PATH",
+                   help="write the --to record's phase flamegraph as a "
+                        "self-contained SVG")
+    p.add_argument("--collapsed-out", type=str, default=None, metavar="PATH",
+                   help="write the --to record's phases in collapsed-stack "
+                        "format")
+    p.add_argument("--out", type=str, default=None)
+    p.set_defaults(fn=cmd_perf_report)
 
     p = sub.add_parser(
         "trace-report",

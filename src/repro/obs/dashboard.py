@@ -14,7 +14,13 @@ Sections, all driven by record kinds that already exist:
 * **alerts** — a fire/clear timeline from ``alert`` events;
 * **decision error** — the ``decision_abs_error`` sparkline;
 * **latency quantiles** — p50/p95/p99 per ``task_completion_seconds``
-  histogram (digest-backed).
+  histogram (digest-backed);
+* **engine profile** — per-handler wall table plus the phase flamegraph
+  (inline SVG, zero scripts), from ``profile`` records appended by
+  ``--profile --obs-out`` runs.
+
+Every section renders a placeholder when its records are absent — a
+metrics-only export still produces a valid page and exit 0.
 
 Rendering is deterministic: iteration is sorted everywhere, floats are
 formatted through one helper, and nothing reads the wall clock — the same
@@ -251,6 +257,59 @@ def _quantile_table(histograms: List[Dict[str, Any]]) -> str:
     return "".join(rows)
 
 
+def _profile_section(profile: Dict[str, Any]) -> str:
+    """Handler wall-time table plus the inline phase flamegraph for one
+    ``kind: "profile"`` record's summary."""
+    from repro.obs.perf import flamegraph_svg
+
+    parts = [
+        f"<p>{_fmt(profile.get('events_total'))} events, "
+        f"queue high-water {_fmt(profile.get('queue_high_water'))}, "
+        f"wall {_fmt(profile.get('wall_s'))} s</p>"
+    ]
+    by_type = profile.get("by_type") or {}
+    if by_type:
+        wall = float(profile.get("wall_s") or 0.0)
+        rows = [
+            '<table><tr><th class="l">handler</th><th>events</th>'
+            "<th>wall ms</th><th>share</th></tr>"
+        ]
+        top = sorted(
+            by_type.items(), key=lambda kv: kv[1]["wall_s"], reverse=True
+        )
+        for name, stats in top[:12]:
+            share = 100.0 * stats["wall_s"] / wall if wall else 0.0
+            rows.append(
+                "<tr>"
+                f'<td class="l">{_esc(name)}</td>'
+                f"<td>{_fmt(stats.get('count'))}</td>"
+                f"<td>{_fmt(round(stats['wall_s'] * 1e3, 1))}</td>"
+                f"<td>{_fmt(round(share, 1))}%</td>"
+                "</tr>"
+            )
+        rows.append("</table>")
+        parts.append("".join(rows))
+    overhead = profile.get("overhead") or {}
+    if overhead:
+        parts.append(
+            f'<div class="t">profiler overhead ~'
+            f"{_fmt(round(100.0 * overhead.get('fraction_of_wall', 0.0), 1))}% "
+            f"of wall ({_fmt(overhead.get('phase_pairs'))} phase scopes)</div>"
+        )
+    if profile.get("phases"):
+        # The xmlns declaration matters for a standalone .svg file but is
+        # redundant inline in HTML — and the page-level invariant is "no
+        # http(s) substrings at all" (checked by tests).
+        parts.append(
+            flamegraph_svg(profile).replace(
+                ' xmlns="http://www.w3.org/2000/svg"', "", 1
+            )
+        )
+    else:
+        parts.append('<p class="empty">no phase attribution in profile</p>')
+    return "".join(parts)
+
+
 def _timeseries_of(
     records: List[Dict[str, Any]], name: str
 ) -> List[Dict[str, Any]]:
@@ -348,6 +407,19 @@ def render_dashboard(
 
     parts.append("<h2>Completion-time quantiles</h2>")
     parts.append(_quantile_table(histograms))
+
+    parts.append("<h2>Engine profile</h2>")
+    profiles = [
+        r for r in records if r.get("kind") == "profile" and r.get("profile")
+    ]
+    if profiles:
+        for record in profiles:
+            parts.append(_profile_section(record["profile"]))
+    else:
+        parts.append(
+            '<p class="empty">no engine profile (run with --profile and '
+            "--obs-out)</p>"
+        )
 
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

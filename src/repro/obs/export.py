@@ -13,7 +13,10 @@ The wire format is one JSON object per line, discriminated by ``kind``:
   present when the run sampled with ``--sample-interval``;
 * ``{"kind": "span", ...}`` — one causal-trace span (see
   :mod:`repro.obs.tracing`), written to a separate ``--trace-out`` file and
-  summarized by ``repro trace-report``.
+  summarized by ``repro trace-report``;
+* ``{"kind": "profile", "profile": <summary>}`` — the merged engine
+  profile (per-handler wall, phase attribution, overhead estimate),
+  appended when a command runs with both ``--profile`` and ``--obs-out``.
 
 Records exported from a hub with run labels carry them under ``"run"`` so
 multiple runs (e.g. every cell of a policy comparison) can share one file
@@ -122,7 +125,8 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
         f"records: {len(records)} "
         f"(metric {by_kind.get('metric', 0)}, event {by_kind.get('event', 0)}, "
         f"decision-audit {by_kind.get('decision-audit', 0)}, "
-        f"timeseries {by_kind.get('timeseries', 0)})",
+        f"timeseries {by_kind.get('timeseries', 0)}, "
+        f"profile {by_kind.get('profile', 0)})",
     ]
 
     event_counts: Dict[str, int] = {}
@@ -244,4 +248,16 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
                 )
             else:
                 lines.append("    delay error: n/a (no paired estimate/truth samples)")
+
+    # Engine-profile records: top handlers and phase attribution, rendered
+    # with the same table the --profile flag prints at run time.
+    for record in records:
+        if record.get("kind") == "profile" and record.get("profile"):
+            from repro.simnet.engine import render_profile
+
+            lines.append("engine profile:")
+            lines.extend(
+                "  " + line
+                for line in render_profile(record["profile"]).splitlines()
+            )
     return "\n".join(lines)

@@ -23,16 +23,23 @@ class PlainForwardingProgram(P4Program):
         self.forward_table = self.declare_table(FORWARD_TABLE, default_action="drop")
 
     def ingress(self, ctx: PipelineContext) -> None:
+        # "routing" phase scope: TTL check + the ipv4_forward exact-match
+        # lookup — the per-packet forwarding decision on the hot path.
+        prof = ctx.switch.sim.profiler
+        if prof is not None:
+            prof.phase_begin("routing")
         packet = ctx.packet
         if packet.ttl <= 1:
             ctx.mark_drop()
-            return
-        action, params = self.forward_table.lookup(packet.dst_addr)
-        if action == "forward":
-            packet.ttl -= 1
-            ctx.set_egress_port(params["port"])
-        else:  # "drop" (table miss or explicit drop entry)
-            ctx.mark_drop()
+        else:
+            action, params = self.forward_table.lookup(packet.dst_addr)
+            if action == "forward":
+                packet.ttl -= 1
+                ctx.set_egress_port(params["port"])
+            else:  # "drop" (table miss or explicit drop entry)
+                ctx.mark_drop()
+        if prof is not None:
+            prof.phase_end()
 
     # Control-plane helper used by the routing module.
     def install_route(self, dst_addr: int, port_index: int) -> None:

@@ -60,10 +60,16 @@ class IntTelemetryProgram(PlainForwardingProgram):
     def ingress(self, ctx: PipelineContext) -> None:
         packet = ctx.packet
         if ctx.meta["is_probe"] and packet.last_egress_ts is not None:
-            # Upstream link latency, measured before enqueueing.
+            # Upstream link latency, measured before enqueueing.  Probe-only
+            # phase scope (int_stamp): data packets never pay the clock reads.
             assert self.switch is not None
+            prof = self.switch.sim.profiler
+            if prof is not None:
+                prof.phase_begin("int_stamp")
             arrival = self.switch.clock.read()
             packet.int_link_latency = arrival - packet.last_egress_ts
+            if prof is not None:
+                prof.phase_end()
         super().ingress(ctx)
 
     # -- egress ---------------------------------------------------------------

@@ -7,19 +7,32 @@ must be identical across all three executions).  CI runs this on a small
 grid as the bench-smoke job; the committed ``BENCH_runner.json`` records a
 full-size data point.
 
-Parallel speedup is bounded by the host's core count (a single-core host
-reports ~1x or below; the numbers are honest, not idealized), while the
-cached pass skips simulation entirely and its speedup is large everywhere.
+Parallel speedup is bounded by the host's core count — on a host with
+fewer CPUs than ``--jobs`` the parallel pass measures process-spawn
+overhead, not parallelism, so the report annotates ``parallel_valid:
+false`` and downstream consumers (``bench-compare``, ``perf-report``)
+exclude the number instead of flagging noise.  The cached pass skips
+simulation entirely and its speedup is large everywhere.
+
+Every ``bench-runner`` invocation also appends one provenance-stamped
+record to the **bench-history ledger** (``BENCH_history.jsonl`` by
+default): the timing metrics plus the phase-level engine profile, so
+``repro perf-report`` can render trends across commits and
+``bench-compare --history`` can gate against a rolling baseline instead
+of one hand-picked file.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
 import sys
 import time
 from dataclasses import replace
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.errors import ExperimentError
 from repro.runner.cache import ResultCache
 from repro.runner.runner import Runner, RunResult, expand_grid
 from repro.runner.spec import RunSpec
@@ -29,7 +42,14 @@ __all__ = [
     "run_bench",
     "compare_bench",
     "render_bench_compare",
+    "parallel_valid",
+    "history_record",
+    "append_history",
+    "read_history",
+    "rolling_baseline",
     "DEFAULT_MAX_REGRESSION",
+    "DEFAULT_HISTORY_PATH",
+    "DEFAULT_HISTORY_WINDOW",
 ]
 
 # A candidate timing may be up to (1 + this) x the baseline before the
@@ -40,6 +60,11 @@ DEFAULT_MAX_REGRESSION = 0.5
 
 # The wall-clock metrics a bench report carries, in report order.
 _TIMING_METRICS = ("serial_s", "parallel_s", "cached_s")
+
+# Default bench-history ledger path (relative to the repo root / cwd) and
+# the number of most-recent records the rolling baseline is computed over.
+DEFAULT_HISTORY_PATH = "BENCH_history.jsonl"
+DEFAULT_HISTORY_WINDOW = 5
 
 
 def bench_grid_specs(scale: str = "smoke", seed: int = 0) -> List[RunSpec]:
@@ -83,6 +108,7 @@ def run_bench(
     cache_root: str,
     progress: Optional[Callable[[str], None]] = None,
     profile: bool = True,
+    mem_profile: bool = False,
 ) -> Dict[str, Any]:
     """Time the grid serial / parallel / cached; return the report dict.
 
@@ -92,12 +118,20 @@ def run_bench(
     serial ones byte for byte.  With ``profile`` on (the default), every
     pass runs under the engine profiler — the profile lives in result
     provenance, so byte-identity still holds — and the serial pass's merged
-    summary lands in the report's ``profile`` key."""
+    summary lands in the report's ``profile`` key.  ``mem_profile`` adds
+    gc/tracemalloc attribution to that summary (implies ``profile``).
+
+    ``parallel_valid`` records whether the parallel timing means anything:
+    on a host with fewer CPUs than ``jobs`` the pool just multiplexes one
+    core and the number measures spawn overhead, so it is annotated false
+    and excluded from comparisons rather than flagged as a regression."""
+    profile = profile or mem_profile
     specs = bench_grid_specs(scale, seed)
     say = progress if progress is not None else (lambda _line: None)
+    cpus = os.cpu_count() or 1
 
     say(f"serial: {len(specs)} runs ...")
-    serial_runner = Runner(jobs=1, profile=profile)
+    serial_runner = Runner(jobs=1, profile=profile, mem_profile=mem_profile)
     t0 = time.perf_counter()
     serial = serial_runner.run(specs)
     serial_s = time.perf_counter() - t0
@@ -131,6 +165,7 @@ def run_bench(
         "serial_s": round(serial_s, 3),
         "parallel_s": round(parallel_s, 3),
         "parallel_jobs": jobs,
+        "parallel_valid": jobs <= cpus,
         "parallel_speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
         "cached_s": round(cached_s, 3),
         "cached_speedup": round(serial_s / cached_s, 3) if cached_s else None,
@@ -144,6 +179,140 @@ def run_bench(
             "platform": sys.platform,
         },
     }
+
+
+def parallel_valid(report: Dict[str, Any]) -> bool:
+    """Whether a report's parallel timing reflects real parallelism.
+
+    Reports written before the ``parallel_valid`` key existed are inferred
+    from ``parallel_jobs`` vs the recorded host CPU count."""
+    value = report.get("parallel_valid")
+    if isinstance(value, bool):
+        return value
+    jobs = report.get("parallel_jobs")
+    cpus = dict(report.get("host") or {}).get("cpus")
+    if isinstance(jobs, int) and isinstance(cpus, int):
+        return jobs <= cpus
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Bench-history ledger
+# ---------------------------------------------------------------------------
+
+
+def history_record(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Shape one ``run_bench`` report into a provenance-stamped ledger line.
+
+    Keeps the timing metrics and the phase profile; stamps UTC wall time
+    and, when available, the current git commit so ``perf-report`` can
+    label trend points.  The record is self-contained — reading the ledger
+    never requires the original ``BENCH_*.json`` files."""
+    stamp = {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "git_commit": _git_commit(),
+    }
+    record = dict(report)
+    record["provenance"] = stamp
+    return record
+
+
+def _git_commit() -> Optional[str]:
+    """Current short commit hash, or None outside a git checkout."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip() or None
+
+
+def append_history(report: Dict[str, Any], path: str) -> Dict[str, Any]:
+    """Append one report to the ledger at ``path``; returns the record."""
+    record = history_record(report)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def read_history(path: str) -> List[Dict[str, Any]]:
+    """Load ledger records oldest-first; raises on malformed lines."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ExperimentError(
+                    f"{path}:{lineno}: malformed history record: {exc}"
+                ) from exc
+            if not isinstance(record, dict):
+                raise ExperimentError(
+                    f"{path}:{lineno}: history record is not an object"
+                )
+            records.append(record)
+    return records
+
+
+def rolling_baseline(
+    records: List[Dict[str, Any]], window: int = DEFAULT_HISTORY_WINDOW
+) -> Dict[str, Any]:
+    """Synthesize a baseline report from the last ``window`` ledger records.
+
+    Each timing metric becomes the median over the records that carry it —
+    parallel metrics only from records whose parallel timing is valid — so
+    one noisy run cannot move the gate the way a single-file baseline can.
+    The grid and host of the newest record are carried over for the grid
+    compatibility check."""
+    if not records:
+        raise ExperimentError("bench history is empty; run bench-runner first")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    tail = records[-window:]
+    newest = tail[-1]
+    baseline: Dict[str, Any] = {
+        "grid": dict(newest.get("grid", {})),
+        "host": dict(newest.get("host") or {}),
+        "byte_identical": True,
+        "diverging_cells": [],
+        "parallel_jobs": newest.get("parallel_jobs"),
+        "parallel_valid": any(parallel_valid(r) for r in tail),
+        "baseline_of": len(tail),
+    }
+    for metric in _TIMING_METRICS:
+        pool = tail
+        if metric == "parallel_s":
+            pool = [r for r in tail if parallel_valid(r)]
+        values = sorted(
+            r[metric]
+            for r in pool
+            if isinstance(r.get(metric), (int, float))
+        )
+        if not values:
+            baseline[metric] = None
+            continue
+        mid = len(values) // 2
+        if len(values) % 2:
+            baseline[metric] = values[mid]
+        else:
+            baseline[metric] = round((values[mid - 1] + values[mid]) / 2.0, 3)
+    return baseline
 
 
 def compare_bench(
@@ -162,8 +331,11 @@ def compare_bench(
     timing metric's ratio ``candidate / baseline`` must stay at or below
     ``1 + threshold``, where ``thresholds`` overrides ``max_regression``
     per metric (e.g. ``{"cached_s": 2.0}``).  Metrics missing from either
-    report are skipped and reported as such.  Returns a JSON-ready report;
-    ``ok`` is the overall verdict."""
+    report are skipped and reported as such, and ``parallel_s`` is skipped
+    (never failed) when either side's parallel timing is invalid — a
+    1-CPU runner timing a 4-worker pool measures spawn overhead, not a
+    regression.  Returns a JSON-ready report; ``ok`` is the overall
+    verdict."""
     if max_regression < 0:
         raise ValueError(f"max_regression must be >= 0, got {max_regression}")
     thresholds = dict(thresholds or {})
@@ -194,7 +366,13 @@ def compare_bench(
             "candidate": cand_v,
             "threshold": threshold,
         }
-        if not isinstance(base_v, (int, float)) or not isinstance(
+        if metric == "parallel_s" and not (
+            parallel_valid(baseline) and parallel_valid(candidate)
+        ):
+            row["status"] = "skipped"
+            row["ratio"] = None
+            row["note"] = "parallel timing invalid (jobs > host cpus)"
+        elif not isinstance(base_v, (int, float)) or not isinstance(
             cand_v, (int, float)
         ) or base_v <= 0:
             row["status"] = "skipped"
@@ -240,6 +418,7 @@ def render_bench_compare(report: Dict[str, Any]) -> str:
             f"cand={cand if cand is not None else '-':>8} "
             f"ratio={ratio if ratio is not None else '-':>6} "
             f"(allowed {1.0 + row['threshold']:.2f}x) [{row['status']}]"
+            + (f" -- {row['note']}" if row.get("note") else "")
         )
     if report["failures"]:
         lines.append("  FAILURES:")

@@ -150,10 +150,17 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
     provenance because handler wall-times are nondeterministic.
     """
     profiler = None
+    memory_capture = None
     if getattr(spec, "profile", False):
+        from repro.obs.perf import MemoryCapture
         from repro.simnet.engine import EngineProfiler
 
         profiler = EngineProfiler()
+        # gc counters always ride with a profile; allocation-site tracing
+        # (tracemalloc) only when the spec opted in — it costs real time.
+        memory_capture = MemoryCapture(
+            tracemalloc_top=10 if getattr(spec, "mem_profile", False) else 0
+        )
     if isinstance(spec, RunSpec):
         from repro.experiments.export import result_to_dict
         from repro.experiments.harness import run_experiment
@@ -175,7 +182,11 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
             obs = Observability(
                 run=labels, trace=spec.trace, sample_interval=sampled
             )
+        if memory_capture is not None:
+            memory_capture.start()
         result = run_experiment(spec.to_config(), obs=obs, profiler=profiler)
+        if memory_capture is not None:
+            profiler.memory = memory_capture.stop()
         payload = result_to_dict(result, include_tasks=True)
         if obs is not None and (spec.obs_run() is not None or sampled is not None):
             payload["obs_records"] = obs.snapshot_records()
@@ -189,6 +200,8 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
 
         from repro.experiments.calibration import run_calibration
 
+        if memory_capture is not None:
+            memory_capture.start()
         point = run_calibration(
             spec.utilization,
             duration=spec.duration,
@@ -198,6 +211,8 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
             seed=spec.seed,
             profiler=profiler,
         )
+        if memory_capture is not None:
+            profiler.memory = memory_capture.stop()
         payload = {"calibration": asdict(point)}
         if profiler is not None:
             payload["_profile"] = profiler.summary()
@@ -307,6 +322,7 @@ class Runner:
         obs: Optional[Any] = None,
         trace: bool = False,
         profile: bool = False,
+        mem_profile: bool = False,
         sample_interval: Optional[float] = None,
     ) -> None:
         if jobs < 1:
@@ -318,8 +334,10 @@ class Runner:
         # Instrumentation: stamp every incoming spec with these flags before
         # hashing (so traced/profiled/sampled cells never alias plain cache
         # entries) and accumulate the per-run outputs across run() calls.
+        # mem_profile implies profile.
         self.trace = trace
-        self.profile = profile
+        self.mem_profile = mem_profile
+        self.profile = profile or mem_profile
         self.sample_interval = sample_interval
         self.trace_records: List[Dict[str, Any]] = []
         self.profiles: List[Dict[str, Any]] = []
@@ -343,6 +361,7 @@ class Runner:
                 spec.instrumented(
                     trace=self.trace,
                     profile=self.profile,
+                    mem_profile=self.mem_profile,
                     sample_interval=self.sample_interval,
                 )
                 for spec in specs
@@ -416,13 +435,22 @@ class Runner:
 
     def profile_summary(self) -> Optional[Dict[str, Any]]:
         """Merge every accumulated per-run engine profile into one summary:
-        counts/wall-times summed per event type, queue high-water maxed."""
+        counts/wall-times summed per event type and per phase path, queue
+        high-water maxed, overhead counts/totals summed (fraction recomputed
+        against the merged wall), memory counters summed with tracemalloc
+        sites re-ranked across runs."""
         if not self.profiles:
             return None
         by_type: Dict[str, Dict[str, Any]] = {}
+        phases: Dict[str, Dict[str, Any]] = {}
         events_total = 0
         high_water = 0
         wall_s = 0.0
+        overhead_total = 0.0
+        overhead_pairs = 0
+        overhead_reads = 0
+        memory: Optional[Dict[str, Any]] = None
+        sites: Dict[str, Dict[str, Any]] = {}
         for profile in self.profiles:
             events_total += profile.get("events_total", 0)
             high_water = max(high_water, profile.get("queue_high_water", 0))
@@ -431,13 +459,61 @@ class Runner:
                 merged = by_type.setdefault(name, {"count": 0, "wall_s": 0.0})
                 merged["count"] += stats["count"]
                 merged["wall_s"] += stats["wall_s"]
-        return {
+            for path, stats in (profile.get("phases") or {}).items():
+                merged = phases.setdefault(path, {"count": 0, "wall_s": 0.0})
+                merged["count"] += stats["count"]
+                merged["wall_s"] += stats["wall_s"]
+            overhead = profile.get("overhead") or {}
+            overhead_total += overhead.get("total_s", 0.0)
+            overhead_pairs += overhead.get("phase_pairs", 0)
+            overhead_reads += overhead.get("clock_reads", 0)
+            run_memory = profile.get("memory")
+            if run_memory:
+                if memory is None:
+                    memory = {
+                        "gc_collections": 0, "gc_collected": 0,
+                        "gc_uncollectable": 0, "allocated_blocks_delta": 0,
+                        "tracemalloc": None,
+                    }
+                for key in ("gc_collections", "gc_collected",
+                            "gc_uncollectable", "allocated_blocks_delta"):
+                    memory[key] += run_memory.get(key, 0)
+                for site in ((run_memory.get("tracemalloc") or {}).get("top")
+                             or ()):
+                    merged = sites.setdefault(
+                        site["site"], {"site": site["site"],
+                                       "size_kb": 0.0, "count": 0}
+                    )
+                    merged["size_kb"] = round(
+                        merged["size_kb"] + site["size_kb"], 1
+                    )
+                    merged["count"] += site["count"]
+        if memory is not None and sites:
+            top = sorted(
+                sites.values(), key=lambda s: (-s["size_kb"], s["site"])
+            )[:10]
+            memory["tracemalloc"] = {"top": top, "sites": len(sites)}
+        summary: Dict[str, Any] = {
             "runs": len(self.profiles),
             "events_total": events_total,
             "queue_high_water": high_water,
             "wall_s": wall_s,
             "by_type": dict(sorted(by_type.items())),
+            "phases": dict(sorted(phases.items())),
+            "overhead": {
+                "phase_pairs": overhead_pairs,
+                "clock_reads": overhead_reads,
+                "total_s": overhead_total,
+                "fraction_of_wall": (
+                    overhead_total / wall_s if wall_s else 0.0
+                ),
+            },
+            "memory": memory,
         }
+        from repro.simnet.engine import phase_coverage
+
+        summary["phase_coverage"] = phase_coverage(summary)
+        return summary
 
     def run_grid(
         self,

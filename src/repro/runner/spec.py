@@ -131,6 +131,13 @@ class RunSpec:
     # profiled and plain runs must not share cache files either.
     trace: bool = False
     profile: bool = False
+    # Memory attribution (tracemalloc top allocation sites) on top of the
+    # engine profile; implies profile at the runner layer.  In the hash for
+    # the same no-aliasing reason as the other instrumentation flags, even
+    # though its output lives in provenance: tracemalloc changes allocator
+    # timing enough that sharing cache entries with plain runs would let a
+    # --mem-profile invocation return non-mem-profiled provenance.
+    mem_profile: bool = False
     # Periodic state sampling: sim-seconds between sampler ticks, or None
     # for no sampling.  In the hash: a sampled run's payload carries
     # time-series (and possibly alert) records, so it must not alias a
@@ -308,13 +315,16 @@ class RunSpec:
         *,
         trace: bool = False,
         profile: bool = False,
+        mem_profile: bool = False,
         sample_interval: Optional[float] = None,
     ) -> "RunSpec":
         """This spec with instrumentation flags ORed in (identity when no
         flag changes, so un-instrumented grids keep their spec objects).
-        An already-sampled spec keeps its own interval."""
+        ``mem_profile`` implies ``profile``; an already-sampled spec keeps
+        its own interval."""
         trace = trace or self.trace
-        profile = profile or self.profile
+        mem_profile = mem_profile or self.mem_profile
+        profile = profile or self.profile or mem_profile
         sample_interval = (
             self.sample_interval if self.sample_interval is not None
             else sample_interval
@@ -322,11 +332,13 @@ class RunSpec:
         if (
             trace == self.trace
             and profile == self.profile
+            and mem_profile == self.mem_profile
             and sample_interval == self.sample_interval
         ):
             return self
         return replace(
-            self, trace=trace, profile=profile, sample_interval=sample_interval
+            self, trace=trace, profile=profile, mem_profile=mem_profile,
+            sample_interval=sample_interval,
         )
 
 
@@ -345,6 +357,7 @@ class CalibrationSpec:
     # Engine profiling; in the hash (see RunSpec).  Calibration runs have no
     # task/probe lifecycles to trace, so there is no trace flag here.
     profile: bool = False
+    mem_profile: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"kind": self.KIND}
@@ -376,13 +389,16 @@ class CalibrationSpec:
         *,
         trace: bool = False,
         profile: bool = False,
+        mem_profile: bool = False,
         sample_interval: Optional[float] = None,
     ) -> "CalibrationSpec":
         """Profiling only — calibration runs have nothing to span-trace or
-        periodically sample."""
+        periodically sample.  ``mem_profile`` implies ``profile``."""
         del trace, sample_interval
-        if profile and not self.profile:
-            return replace(self, profile=True)
+        mem_profile = mem_profile or self.mem_profile
+        profile = profile or self.profile or mem_profile
+        if profile != self.profile or mem_profile != self.mem_profile:
+            return replace(self, profile=profile, mem_profile=mem_profile)
         return self
 
 

@@ -128,6 +128,11 @@ class UdpCbrFlow:
         if self._stopped:
             return
         self._seq += 1
+        # Phase scopes (profiled runs only): build = packet construction,
+        # send = local egress enqueue + next-emission scheduling.
+        prof = self.host.sim.profiler
+        if prof is not None:
+            prof.phase_first("build")
         packet = self.host.new_packet(
             self.dst_addr,
             protocol=PROTO_UDP,
@@ -137,10 +142,14 @@ class UdpCbrFlow:
             flow_id=self.flow_id,
             seq=self._seq,
         )
+        if prof is not None:
+            prof.phase_next("send")
         self.host.send(packet)
         self.packets_emitted += 1
         self.bytes_emitted += self.packet_size
         self._next = self.host.sim.schedule(self._gap(), self._emit)
+        if prof is not None:
+            prof.phase_end()
 
 
 class UdpSink:

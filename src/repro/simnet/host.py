@@ -17,7 +17,7 @@ import itertools
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import TopologyError
-from repro.simnet.addressing import PORT_EPHEMERAL_BASE, PROTO_UDP
+from repro.simnet.addressing import PORT_EPHEMERAL_BASE, PROTO_TCP, PROTO_UDP
 from repro.simnet.engine import Simulator
 from repro.simnet.node import Clock, Node
 from repro.simnet.packet import HEADER_OVERHEAD, Packet
@@ -107,13 +107,34 @@ class Host(Node):
 
     def on_ingress(self, packet: Packet, in_port: Port) -> None:
         self.packets_received += 1
+        prof = self.sim.profiler
+        if prof is None:
+            if packet.dst_addr != self.addr:
+                # Hosts do not forward; a misrouted packet dies here.
+                self.packets_dropped += 1
+                return
+            handler = self._handlers.get((packet.protocol, packet.dst_port))
+            if handler is None:
+                self.packets_unclaimed += 1
+                return
+            self.packets_delivered += 1
+            handler(packet)
+            return
+        # Phase scopes (profiled runs only): demux covers the address check +
+        # handler lookup (backdated to handler entry via phase_first); the
+        # handler call is attributed to transport (TCP) or flow (everything
+        # else: UDP apps, probes, control messages).
+        prof.phase_first("demux")
         if packet.dst_addr != self.addr:
-            # Hosts do not forward; a misrouted packet dies here.
             self.packets_dropped += 1
+            prof.phase_end()
             return
         handler = self._handlers.get((packet.protocol, packet.dst_port))
         if handler is None:
             self.packets_unclaimed += 1
+            prof.phase_end()
             return
         self.packets_delivered += 1
+        prof.phase_next("transport" if packet.protocol == PROTO_TCP else "flow")
         handler(packet)
+        prof.phase_end()

@@ -84,7 +84,17 @@ class Port:
         self._transmitting = True
         # P4 egress stage: runs as the packet leaves the queue and begins
         # serialization.  May mutate the packet (probe payload growth).
-        self.node.on_egress(packet, self, enq_depth)
+        # Phase scope for probes only: the probe path does the expensive
+        # work (INT record collection + payload growth), while the data-
+        # packet egress is a single register update not worth two clock
+        # reads per packet — it stays in the enclosing phase's self-time.
+        prof = self.node.sim.profiler
+        if prof is None or not packet.is_probe:
+            self.node.on_egress(packet, self, enq_depth)
+        else:
+            prof.phase_begin("egress_stage")
+            self.node.on_egress(packet, self, enq_depth)
+            prof.phase_end()
         # rate_factor is 1.0 unless a fault degraded the link; x * 1.0 is
         # exact, so the fault-free path is byte-identical.
         tx_time = (packet.size_bytes * 8.0) / (
@@ -97,7 +107,23 @@ class Port:
         sim.schedule(tx_time, self._tx_complete, packet)
 
     def _tx_complete(self, packet: Packet) -> None:
+        # Phase scopes (profiled runs only): propagate covers the wire
+        # loss-check + delivery scheduling, dequeue covers pulling the next
+        # packet (with the probe-only egress_stage sub-phase inside).
+        prof = self.node.sim.profiler
+        if prof is None:
+            self.packets_sent += 1
+            self._propagate(packet)
+            self._start_next()
+            return
+        prof.phase_first("propagate")
         self.packets_sent += 1
+        self._propagate(packet)
+        prof.phase_next("dequeue")
+        self._start_next()
+        prof.phase_end()
+
+    def _propagate(self, packet: Packet) -> None:
         link = self.link
         if link.impaired and link.should_drop(packet):
             # Lost on the wire (link down or probabilistic fault loss): the
@@ -122,8 +148,6 @@ class Port:
                 link.propagation_delay + link.extra_delay,
                 peer.node.on_ingress, packet, peer,
             )
-        # Serializer is free again: pull the next queued packet, if any.
-        self._start_next()
 
     # -- introspection ----------------------------------------------------------
 

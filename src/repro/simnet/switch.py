@@ -55,17 +55,32 @@ class Switch(Node):
     # -- data path ----------------------------------------------------------
 
     def on_ingress(self, packet: Packet, in_port: Port) -> None:
+        # Phase scopes (profiled runs only): p4_pipeline covers the parser +
+        # ingress control (routing/int_stamp sub-phases open inside the
+        # program), enqueue covers the egress-port send.  phase_first
+        # backdates p4_pipeline to the handler's start, so the entry
+        # bookkeeping is attributed rather than lost.
+        prof = self.sim.profiler
+        if prof is not None:
+            prof.phase_first("p4_pipeline")
         self.packets_received += 1
         if self.program is None:
             raise DataPlaneError(f"switch {self.name} has no data-plane program")
         ctx = self.program.process_ingress(packet, in_port.port_index)
         if ctx.dropped:
+            if prof is not None:
+                prof.phase_end()
             self.packets_dropped_pipeline += 1
             return
         assert ctx.egress_port is not None
         packet.hop_count += 1
         self.packets_forwarded += 1
+        if prof is None:
+            self.port(ctx.egress_port).send(packet)
+            return
+        prof.phase_next("enqueue")
         self.port(ctx.egress_port).send(packet)
+        prof.phase_end()
 
     def on_egress(self, packet: Packet, out_port: Port, enq_depth: int) -> None:
         assert self.program is not None

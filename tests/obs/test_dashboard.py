@@ -119,3 +119,54 @@ class TestRender:
         text = path.read_text()
         assert text == render_dashboard(_sample_records(), title="t<&>")
         assert "t&lt;&amp;&gt;" in text
+
+
+def _profile_record():
+    return {
+        "kind": "profile",
+        "profile": {
+            "events_total": 100,
+            "queue_high_water": 5,
+            "wall_s": 1.0,
+            "by_type": {"Switch.on_ingress": {"count": 80, "wall_s": 0.8}},
+            "phases": {
+                "Switch.on_ingress;p4_pipeline": {"count": 80, "wall_s": 0.5},
+            },
+            "overhead": {"phase_pairs": 80, "clock_reads": 100,
+                         "total_s": 0.01, "fraction_of_wall": 0.01},
+            "memory": None,
+            "phase_coverage": {"Switch.on_ingress": 0.625},
+        },
+    }
+
+
+class TestProfileSection:
+    def test_profile_section_rendered_with_flamegraph(self):
+        html = render_dashboard(_sample_records() + [_profile_record()])
+        assert "Engine profile" in html
+        section = html.split("Engine profile", 1)[1]
+        assert "Switch.on_ingress" in section
+        assert "p4_pipeline" in section
+        assert "profiler overhead" in section
+        assert "<svg" in section
+
+    def test_page_with_profile_stays_self_contained(self):
+        html = render_dashboard(_sample_records() + [_profile_record()])
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "<script" not in html
+        assert not re.search(r"\bsrc\s*=", html)
+
+    def test_placeholder_when_no_profile(self):
+        html = render_dashboard(_sample_records())
+        assert "no engine profile" in html
+
+    def test_profile_only_export_still_valid_page(self):
+        html = render_dashboard([_profile_record()])
+        assert html.startswith("<!DOCTYPE html>")
+        assert "no link-utilization samples" in html
+        assert "Engine profile" in html
+
+    def test_deterministic_with_profile(self):
+        records = _sample_records() + [_profile_record()]
+        assert render_dashboard(records) == render_dashboard(records)

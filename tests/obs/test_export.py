@@ -136,3 +136,33 @@ class TestSummary:
         assert summary["decisions"] == 1
         assert summary["delay_error"]["samples"] == 2
         assert summary["events_by_kind"] == {"packet_dropped": 1}
+
+
+class TestObsReportProfileSection:
+    def test_profile_record_renders_table(self):
+        from repro.obs.export import render_obs_report
+
+        record = {
+            "kind": "profile",
+            "profile": {
+                "events_total": 42,
+                "queue_high_water": 3,
+                "wall_s": 0.5,
+                "by_type": {"Host.on_ingress": {"count": 42, "wall_s": 0.4}},
+                "phases": {"Host.on_ingress;demux": {"count": 42, "wall_s": 0.3}},
+                "overhead": {"phase_pairs": 42, "clock_reads": 50,
+                             "total_s": 0.001, "fraction_of_wall": 0.002},
+                "memory": None,
+                "phase_coverage": {"Host.on_ingress": 0.75},
+            },
+        }
+        text = render_obs_report([record])
+        assert "profile 1" in text
+        assert "engine profile:" in text
+        assert "Host.on_ingress" in text
+        assert ";demux" in text
+
+    def test_counts_line_includes_profile_kind(self):
+        from repro.obs.export import render_obs_report
+
+        assert "profile 0" in render_obs_report([])

@@ -1,0 +1,219 @@
+"""Unit tests for the performance observatory rendering layer."""
+
+import pytest
+
+from repro.obs.perf import (
+    MemoryCapture,
+    collapsed_stacks,
+    flamegraph_svg,
+    render_perf_report,
+    sparkline,
+)
+
+
+def _summary():
+    """Synthetic profile: one handler, two phases, one nested phase."""
+    return {
+        "events_total": 100,
+        "queue_high_water": 5,
+        "wall_s": 1.0,
+        "by_type": {
+            "Switch.on_ingress": {"count": 80, "wall_s": 0.8},
+            "Host.on_ingress": {"count": 20, "wall_s": 0.2},
+        },
+        "phases": {
+            "Switch.on_ingress;p4_pipeline": {"count": 80, "wall_s": 0.5},
+            "Switch.on_ingress;p4_pipeline;routing": {"count": 80, "wall_s": 0.3},
+            "Switch.on_ingress;enqueue": {"count": 80, "wall_s": 0.25},
+        },
+        "overhead": {"phase_pairs": 240, "clock_reads": 300,
+                     "total_s": 0.01, "fraction_of_wall": 0.01},
+        "memory": None,
+        "phase_coverage": {"Switch.on_ingress": 0.9375},
+    }
+
+
+class TestCollapsedStacks:
+    def test_lines_are_path_space_self_us(self):
+        lines = collapsed_stacks(_summary()).splitlines()
+        table = dict(line.rsplit(" ", 1) for line in lines)
+        # Self time: handler minus direct children, phase minus nested.
+        assert int(table["Switch.on_ingress"]) == 50_000  # 0.8 - 0.75
+        assert int(table["Switch.on_ingress;p4_pipeline"]) == 200_000
+        assert int(table["Switch.on_ingress;p4_pipeline;routing"]) == 300_000
+        assert int(table["Switch.on_ingress;enqueue"]) == 250_000
+        assert int(table["Host.on_ingress"]) == 200_000
+
+    def test_zero_self_time_nodes_dropped(self):
+        summary = _summary()
+        # Children exactly cover the parent: parent's self time is zero.
+        summary["by_type"]["Switch.on_ingress"]["wall_s"] = 0.75
+        text = collapsed_stacks(summary)
+        assert "\nSwitch.on_ingress " not in "\n" + text.replace(";", "_")
+
+    def test_trailing_newline_and_sorted(self):
+        text = collapsed_stacks(_summary())
+        assert text.endswith("\n")
+        paths = [line.rsplit(" ", 1)[0] for line in text.splitlines()]
+        assert paths == sorted(paths)
+
+    def test_empty_summary(self):
+        assert collapsed_stacks({"by_type": {}, "phases": {}}) == ""
+
+
+class TestFlamegraphSvg:
+    def test_self_contained(self):
+        svg = flamegraph_svg(_summary())
+        assert svg.startswith("<svg")
+        assert "<script" not in svg
+        assert "src=" not in svg and "href" not in svg
+        assert "url(" not in svg and "@import" not in svg
+
+    def test_frames_and_tooltips(self):
+        svg = flamegraph_svg(_summary())
+        assert "<title>" in svg
+        assert "p4_pipeline" in svg and "routing" in svg
+        assert "Host.on_ingress" in svg
+
+    def test_deterministic(self):
+        assert flamegraph_svg(_summary()) == flamegraph_svg(_summary())
+
+    def test_children_clamped_into_parent(self):
+        """Clock noise making children sum past the parent must not
+        overflow the parent's box."""
+        summary = _summary()
+        summary["phases"]["Switch.on_ingress;p4_pipeline"]["wall_s"] = 0.7
+        summary["phases"]["Switch.on_ingress;enqueue"]["wall_s"] = 0.4
+        svg = flamegraph_svg(summary)  # must not raise; widths stay finite
+        assert svg.count("<rect") >= 4
+
+    def test_empty_profile_placeholder(self):
+        svg = flamegraph_svg({"by_type": {}, "phases": {}})
+        assert "no profile samples" in svg
+
+    def test_escapes_markup_in_names(self):
+        summary = {
+            "by_type": {"<evil>&name": {"count": 1, "wall_s": 1.0}},
+            "phases": {},
+        }
+        svg = flamegraph_svg(summary)
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+
+class TestSparkline:
+    def test_shape(self):
+        line = sparkline([0.0, 0.5, 1.0])
+        assert line[0] == "▁" and line[-1] == "█" and len(line) == 3
+
+    def test_none_gap_renders_as_space(self):
+        assert sparkline([0.0, None, 1.0])[1] == " "
+
+    def test_constant_series(self):
+        assert sparkline([2.0, 2.0]) == "▁▁"
+
+    def test_all_none(self):
+        assert sparkline([None, None]) == ""
+
+
+class TestMemoryCapture:
+    def test_gc_counters_always_captured(self):
+        capture = MemoryCapture()
+        capture.start()
+        junk = [[i] for i in range(1000)]
+        del junk
+        out = capture.stop()
+        assert set(out) == {
+            "gc_collections", "gc_collected", "gc_uncollectable",
+            "allocated_blocks_delta", "tracemalloc",
+        }
+        assert out["tracemalloc"] is None
+
+    def test_tracemalloc_top_sites(self):
+        capture = MemoryCapture(tracemalloc_top=5)
+        capture.start()
+        keep = [bytearray(4096) for _ in range(50)]
+        out = capture.stop()
+        del keep
+        tm = out["tracemalloc"]
+        assert tm is not None
+        assert 0 < len(tm["top"]) <= 5
+        assert tm["total_kb"] > 0 and tm["sites"] > 0
+        site = tm["top"][0]["site"]
+        assert ":" in site and site.count("/") <= 2  # 3-component tail
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            MemoryCapture().stop()
+
+
+def _record(serial_s, *, parallel_valid=True, phases=None, commit="abc"):
+    return {
+        "grid": {"figure": "fig5", "scale": "smoke", "runs": 12},
+        "serial_s": serial_s,
+        "parallel_s": serial_s / 2.0,
+        "parallel_valid": parallel_valid,
+        "parallel_speedup": 2.0,
+        "cached_s": serial_s / 10.0,
+        "cached_speedup": 10.0,
+        "provenance": {"recorded_at": "2026-01-01T00:00:00Z",
+                       "git_commit": commit},
+        "profile": {
+            "by_type": {"Switch.on_ingress": {"count": 10, "wall_s": serial_s * 0.5}},
+            "phases": phases if phases is not None else {
+                "Switch.on_ingress;enqueue": {"count": 10, "wall_s": serial_s * 0.3},
+            },
+        },
+    }
+
+
+class TestRenderPerfReport:
+    def test_empty_history(self):
+        assert "history is empty" in render_perf_report([])
+
+    def test_trend_over_two_records(self):
+        text = render_perf_report([_record(10.0), _record(8.0)])
+        assert "2 history record(s)" in text
+        assert "@abc" in text
+        assert "serial_s" in text and "-20.0%" in text and "(better)" in text
+        assert "top phase movers" in text
+        assert "Switch.on_ingress;enqueue" in text
+
+    def test_invalid_parallel_records_excluded(self):
+        text = render_perf_report([
+            _record(10.0, parallel_valid=False),
+            _record(8.0, parallel_valid=False),
+        ])
+        assert "parallel timings from 2 record(s)" in text
+        # The parallel rows render as all-dashes, never as numbers.
+        parallel_row = next(
+            line for line in text.splitlines()
+            if line.strip().startswith("parallel_s")
+        )
+        assert "5.0" not in parallel_row and "4.0" not in parallel_row
+
+    def test_no_phase_movement_vs_no_profile(self):
+        same = [_record(10.0), _record(10.0)]
+        assert "no phase movement" in render_perf_report(same)
+        bare = [
+            {k: v for k, v in _record(10.0).items() if k != "profile"}
+            for _ in range(2)
+        ]
+        assert "no profile data" in render_perf_report(bare)
+
+    def test_from_to_selection_and_bounds(self):
+        records = [_record(10.0), _record(5.0), _record(20.0)]
+        text = render_perf_report(records, frm=1, to=2)
+        assert "record 1 -> 2" in text
+        text = render_perf_report(records, frm=-2, to=-1)
+        assert "record 1 -> 2" in text
+        with pytest.raises(ValueError):
+            render_perf_report(records, frm=5, to=-1)
+        with pytest.raises(ValueError):
+            render_perf_report(records, frm=0, to=-9)
+
+    def test_new_phase_marked(self):
+        old = _record(10.0, phases={})
+        new = _record(10.0)
+        text = render_perf_report([old, new])
+        assert "(new)" in text

@@ -1,0 +1,156 @@
+"""Bench-history ledger: records, rolling baseline, parallel validity."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.runner.bench import (
+    append_history,
+    compare_bench,
+    history_record,
+    parallel_valid,
+    read_history,
+    render_bench_compare,
+    rolling_baseline,
+)
+
+
+def _report(serial_s, *, jobs=2, cpus=4, valid=None, **extra):
+    report = {
+        "grid": {"figure": "fig5", "scale": "smoke", "seed": 0, "runs": 12},
+        "serial_s": serial_s,
+        "parallel_s": serial_s / 2.0,
+        "parallel_jobs": jobs,
+        "parallel_speedup": 2.0,
+        "cached_s": serial_s / 10.0,
+        "cached_speedup": 10.0,
+        "cache_hits": 12,
+        "byte_identical": True,
+        "diverging_cells": [],
+        "profile": None,
+        "host": {"cpus": cpus, "python": "3.11.7", "platform": "linux"},
+    }
+    if valid is not None:
+        report["parallel_valid"] = valid
+    report.update(extra)
+    return report
+
+
+class TestParallelValid:
+    def test_explicit_key_wins(self):
+        assert parallel_valid(_report(10.0, valid=True)) is True
+        assert parallel_valid(_report(10.0, valid=False)) is False
+
+    def test_inferred_from_jobs_vs_cpus(self):
+        assert parallel_valid(_report(10.0, jobs=2, cpus=4)) is True
+        assert parallel_valid(_report(10.0, jobs=2, cpus=1)) is False
+
+    def test_unknown_host_defaults_valid(self):
+        report = _report(10.0)
+        report["host"] = {}
+        assert parallel_valid(report) is True
+
+
+class TestHistoryLedger:
+    def test_record_stamps_provenance(self):
+        record = history_record(_report(10.0))
+        assert record["serial_s"] == 10.0
+        stamp = record["provenance"]
+        assert stamp["recorded_at"].endswith("Z")
+        assert "git_commit" in stamp
+
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        append_history(_report(10.0), path)
+        append_history(_report(8.0), path)
+        records = read_history(path)
+        assert [r["serial_s"] for r in records] == [10.0, 8.0]
+        assert all("provenance" in r for r in records)
+
+    def test_read_rejects_malformed_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ExperimentError, match="malformed"):
+            read_history(str(path))
+        path.write_text('[1, 2]\n')
+        with pytest.raises(ExperimentError, match="not an object"):
+            read_history(str(path))
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(json.dumps(_report(10.0)) + "\n\n")
+        assert len(read_history(str(path))) == 1
+
+
+class TestRollingBaseline:
+    def test_median_per_metric(self):
+        records = [_report(s) for s in (10.0, 30.0, 20.0)]
+        baseline = rolling_baseline(records)
+        assert baseline["serial_s"] == 20.0
+        assert baseline["cached_s"] == 2.0
+        assert baseline["baseline_of"] == 3
+
+    def test_even_count_averages_middle_pair(self):
+        baseline = rolling_baseline([_report(10.0), _report(20.0)])
+        assert baseline["serial_s"] == 15.0
+
+    def test_window_limits_records(self):
+        records = [_report(s) for s in (100.0, 10.0, 10.0)]
+        baseline = rolling_baseline(records, window=2)
+        assert baseline["serial_s"] == 10.0
+        assert baseline["baseline_of"] == 2
+
+    def test_parallel_metric_only_from_valid_records(self):
+        records = [
+            _report(10.0, valid=False),
+            _report(40.0, valid=True),
+        ]
+        baseline = rolling_baseline(records)
+        assert baseline["parallel_s"] == 20.0  # only the valid record's
+        assert baseline["parallel_valid"] is True
+
+    def test_all_invalid_parallel_gives_none(self):
+        records = [_report(10.0, valid=False), _report(12.0, valid=False)]
+        baseline = rolling_baseline(records)
+        assert baseline["parallel_s"] is None
+        assert baseline["parallel_valid"] is False
+
+    def test_empty_history_raises(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            rolling_baseline([])
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            rolling_baseline([_report(10.0)], window=0)
+
+
+class TestCompareParallelSkip:
+    def test_invalid_side_skips_without_failure(self):
+        baseline = _report(10.0, valid=False)
+        baseline["parallel_s"] = 900.0  # 1-CPU noise must never gate
+        candidate = _report(10.0, valid=True)
+        report = compare_bench(baseline, candidate)
+        row = next(r for r in report["rows"] if r["metric"] == "parallel_s")
+        assert row["status"] == "skipped"
+        assert "invalid" in row["note"]
+        assert report["ok"]
+        assert "parallel timing invalid" in render_bench_compare(report)
+
+    def test_both_valid_still_gates(self):
+        baseline = _report(10.0, valid=True)
+        candidate = _report(10.0, valid=True)
+        candidate["parallel_s"] = 50.0
+        report = compare_bench(baseline, candidate)
+        row = next(r for r in report["rows"] if r["metric"] == "parallel_s")
+        assert row["status"] == "regression"
+        assert not report["ok"]
+
+    def test_legacy_report_inference_applies(self):
+        # The committed pre-ledger report shape: no parallel_valid key,
+        # jobs=2 on a 1-CPU host — inferred invalid, so skipped.
+        baseline = _report(10.0, jobs=2, cpus=1)
+        candidate = _report(10.0, valid=True)
+        report = compare_bench(baseline, candidate)
+        row = next(r for r in report["rows"] if r["metric"] == "parallel_s")
+        assert row["status"] == "skipped"

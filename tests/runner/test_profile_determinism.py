@@ -1,0 +1,113 @@
+"""Profiling determinism: observing the engine must never perturb it.
+
+Tentpole acceptance tests for phase-level profiling: a profiled grid run
+(``--profile``, and ``--mem-profile`` on top) must produce payloads
+byte-identical to the unprofiled execution — the profile rides in result
+provenance only — and profiled runs stay byte-identical across serial,
+``jobs=4``, and cache-round-trip executions.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import SMOKE_SCALE, ExperimentConfig
+from repro.runner import ResultCache, Runner, RunSpec, expand_grid
+
+pytestmark = pytest.mark.slow
+
+
+def _grid():
+    base = RunSpec.from_config(ExperimentConfig(scale=SMOKE_SCALE, seed=3))
+    return expand_grid(
+        base, {"policy": ["aware", "nearest"], "size_class": ["VS", "S"]}
+    )
+
+
+@pytest.fixture(scope="module")
+def plain_results():
+    return Runner(jobs=1).run(_grid())
+
+
+@pytest.fixture(scope="module")
+def profiled_results():
+    return Runner(jobs=1, profile=True).run(_grid())
+
+
+class TestProfilingDeterminism:
+    def test_profiled_payloads_byte_identical_to_plain(
+        self, plain_results, profiled_results
+    ):
+        assert len(profiled_results) == len(plain_results) == 4
+        for plain, prof in zip(plain_results, profiled_results):
+            assert plain.payload_json() == prof.payload_json(), plain.spec.label()
+
+    def test_mem_profiled_payloads_byte_identical_to_plain(self, plain_results):
+        mem = Runner(jobs=1, mem_profile=True).run(_grid())
+        for plain, prof in zip(plain_results, mem):
+            assert plain.payload_json() == prof.payload_json(), plain.spec.label()
+
+    def test_profiled_jobs4_byte_identical_to_serial(self, profiled_results):
+        parallel = Runner(jobs=4, profile=True).run(_grid())
+        for s, p in zip(profiled_results, parallel):
+            assert s.payload_json() == p.payload_json(), s.spec.label()
+
+    def test_profiled_cache_round_trip(self, tmp_path, profiled_results):
+        cache = ResultCache(str(tmp_path))
+        spec = _grid()[0]
+        first = Runner(jobs=1, cache=cache, profile=True).run([spec])[0]
+        hit = Runner(jobs=1, cache=cache, profile=True).run([spec])[0]
+        assert hit.from_cache
+        assert hit.payload_json() == first.payload_json()
+        assert hit.payload_json() == profiled_results[0].payload_json()
+
+    def test_profile_lives_in_provenance_not_payload(self, profiled_results):
+        for result in profiled_results:
+            assert "_profile" not in json.loads(result.payload_json())
+            profile = result.profile()
+            assert profile is not None
+            assert profile["events_total"] > 0
+            assert profile["phases"]
+
+    def test_profiled_spec_hash_differs_from_plain(self):
+        spec = _grid()[0]
+        profiled = spec.instrumented(profile=True)
+        assert profiled.content_hash() != spec.content_hash()
+        mem = spec.instrumented(mem_profile=True)
+        assert mem.content_hash() != profiled.content_hash()
+        # Stamping is idempotent.
+        assert profiled.instrumented(profile=True) is profiled
+
+    def test_mem_profile_implies_profile(self):
+        spec = _grid()[0].instrumented(mem_profile=True)
+        assert spec.profile and spec.mem_profile
+
+    def test_merged_summary_meets_attribution_floors(self, profiled_results):
+        """The tentpole acceptance bar, asserted on a real smoke grid: the
+        three hottest handlers are ≥90% phase-covered and the profiler's
+        self-measured overhead stays under 15% of profiled wall."""
+        runner = Runner(jobs=1, profile=True)
+        runner.run(_grid())
+        summary = runner.profile_summary()
+        assert summary is not None
+        coverage = summary["phase_coverage"]
+        by_wall = sorted(
+            summary["by_type"].items(),
+            key=lambda kv: kv[1]["wall_s"],
+            reverse=True,
+        )
+        for name, _stats in by_wall[:3]:
+            assert coverage.get(name, 0.0) >= 0.90, (name, coverage)
+            assert coverage[name] <= 1.05  # nesting invariant, clock noise
+        assert summary["overhead"]["fraction_of_wall"] < 0.15
+
+    def test_mem_profile_memory_in_summary(self):
+        runner = Runner(jobs=1, mem_profile=True)
+        runner.run(_grid()[:1])
+        summary = runner.profile_summary()
+        memory = summary["memory"]
+        assert memory is not None
+        assert "gc_collections" in memory
+        tm = memory["tracemalloc"]
+        assert tm is not None and tm["top"]
+        assert all({"site", "size_kb", "count"} <= set(s) for s in tm["top"])

@@ -102,6 +102,7 @@ _FIELD_CHANGES = {
     # profiled run must never alias a plain run's cache entry.
     "trace": True,
     "profile": True,
+    "mem_profile": True,
     # Sampling changes the payload (obs_records carries the timeseries),
     # so a sampled run must never alias a plain run's cache entry either.
     "sample_interval": 0.5,
@@ -186,6 +187,7 @@ class TestCalibrationSpec:
             "probing_interval": 0.4,
             "seed": 6,
             "profile": True,
+            "mem_profile": True,
         }
         assert set(changes) == {f.name for f in dataclasses.fields(CalibrationSpec)}
         for name, value in changes.items():

@@ -328,3 +328,199 @@ class TestEngineProfiler:
         text = render_profile(sim.profiler.summary())
         assert "engine profile: 1 events" in text
         assert "queue high-water 1" in text
+
+
+class TestPhaseScopes:
+    def _profiled_sim(self):
+        from repro.simnet.engine import EngineProfiler, Simulator
+
+        sim = Simulator()
+        sim.profiler = EngineProfiler()
+        return sim
+
+    def test_paths_root_at_handler_and_nest(self):
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def handler():
+            prof.phase_begin("outer")
+            prof.phase_begin("inner")
+            prof.phase_end()
+            prof.phase_end()
+
+        sim.schedule(1.0, handler)
+        sim.run()
+        phases = sim.profiler.summary()["phases"]
+        outer = next(p for p in phases if p.endswith(";outer"))
+        assert "handler" in outer
+        assert f"{outer};inner" in phases
+        assert phases[outer]["count"] == 1
+        assert phases[f"{outer};inner"]["count"] == 1
+
+    def test_child_wall_bounded_by_parent(self):
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def handler():
+            prof.phase_first("work")
+            acc = 0
+            for i in range(5000):
+                acc += i
+            prof.phase_end()
+
+        for t in range(1, 51):
+            sim.schedule(float(t), handler)
+        sim.run()
+        summary = sim.profiler.summary()
+        handler_key = next(k for k in summary["by_type"] if "handler" in k)
+        child_wall = summary["phases"][f"{handler_key};work"]["wall_s"]
+        # Nesting invariant: the scope cannot outlast its handler (up to
+        # clock quantization noise).
+        assert child_wall <= summary["by_type"][handler_key]["wall_s"] * 1.01
+
+    def test_phase_first_backdates_to_event_start(self):
+        """phase_first charges the handler's entry bookkeeping to the first
+        scope: coverage of a fully-scoped handler lands near 1.0, which a
+        plain phase_begin cannot achieve."""
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def handler():
+            prof.phase_first("all")
+            acc = 0
+            for i in range(2000):
+                acc += i
+            prof.phase_end()
+
+        for t in range(1, 201):
+            sim.schedule(float(t), handler)
+        sim.run()
+        summary = sim.profiler.summary()
+        assert sim.profiler.phase_firsts == 200
+        handler_key = next(k for k in summary["by_type"] if "handler" in k)
+        coverage = summary["phase_coverage"][handler_key]
+        assert 0.95 <= coverage <= 1.01
+
+    def test_phase_first_nested_falls_back_to_begin(self):
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def handler():
+            prof.phase_begin("outer")
+            prof.phase_first("nested")  # stack non-empty: plain begin
+            prof.phase_end()
+            prof.phase_end()
+
+        sim.schedule(1.0, handler)
+        sim.run()
+        assert sim.profiler.phase_firsts == 0
+        phases = sim.profiler.summary()["phases"]
+        assert any(p.endswith(";outer;nested") for p in phases)
+
+    def test_phase_next_closes_and_opens_sibling(self):
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def handler():
+            prof.phase_first("a")
+            prof.phase_next("b")
+            prof.phase_next("c")
+            prof.phase_end()
+
+        sim.schedule(1.0, handler)
+        sim.run()
+        assert sim.profiler.phase_nexts == 2
+        phases = sim.profiler.summary()["phases"]
+        names = {p.rpartition(";")[2] for p in phases}
+        assert {"a", "b", "c"} <= names
+
+    def test_unbalanced_scope_dropped_between_events(self):
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def leaky():
+            prof.phase_begin("never_closed")
+
+        def clean():
+            prof.phase_begin("ok")
+            prof.phase_end()
+
+        sim.schedule(1.0, leaky)
+        sim.schedule(2.0, clean)
+        sim.run()
+        phases = sim.profiler.summary()["phases"]
+        # The leaked scope was never recorded, and the next event's scope
+        # roots at its own handler, not under the leaked path.
+        ok = next(p for p in phases if p.endswith(";ok"))
+        assert "never_closed" not in ok
+        assert not any("never_closed" in p for p in phases)
+
+    def test_overhead_estimate_accounting(self):
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def handler():
+            prof.phase_first("a")
+            prof.phase_next("b")
+            prof.phase_end()
+
+        for t in range(1, 11):
+            sim.schedule(float(t), handler)
+        sim.run()
+        overhead = sim.profiler.overhead_estimate()
+        assert overhead["phase_pairs"] == 20  # two scopes per event
+        # 2*pairs - firsts - nexts = 40 - 10 - 10
+        assert overhead["clock_reads"] == 20
+        assert overhead["total_s"] >= 0.0
+        assert 0.0 <= overhead["fraction_of_wall"]
+        assert overhead["per_read_s"] >= 0.0
+
+    def test_phase_coverage_helper(self):
+        from repro.simnet.engine import phase_coverage
+
+        summary = {
+            "by_type": {"H.handle": {"count": 10, "wall_s": 1.0}},
+            "phases": {
+                "H.handle;a": {"count": 10, "wall_s": 0.5},
+                "H.handle;b": {"count": 10, "wall_s": 0.4},
+                "H.handle;a;deep": {"count": 10, "wall_s": 0.3},
+            },
+        }
+        coverage = phase_coverage(summary)
+        # Only direct children count; the nested phase does not double-count.
+        assert coverage == {"H.handle": pytest.approx(0.9)}
+
+    def test_periodic_timer_callback_attributed(self):
+        from repro.simnet.engine import PeriodicTimer
+
+        sim = self._profiled_sim()
+        fired = []
+
+        class Probe:
+            def tick(self):
+                fired.append(sim.now)
+
+        timer = PeriodicTimer(sim, period=1.0, fn=Probe().tick)
+        timer.start()
+        sim.run(until=3.5)
+        assert len(fired) == 3
+        phases = sim.profiler.summary()["phases"]
+        assert any("Probe.tick" in p for p in phases)
+
+    def test_render_profile_includes_phase_sections(self):
+        from repro.simnet.engine import render_profile
+
+        sim = self._profiled_sim()
+        prof = sim.profiler
+
+        def handler():
+            prof.phase_first("stage")
+            prof.phase_end()
+
+        sim.schedule(1.0, handler)
+        sim.run()
+        text = render_profile(sim.profiler.summary())
+        assert "hot-path phases" in text
+        assert ";stage" in text
+        assert "phase coverage" in text
+        assert "profiler overhead" in text
