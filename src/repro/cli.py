@@ -17,17 +17,26 @@ Commands map one-to-one onto the experiment harnesses:
   gate one report against the ledger's rolling baseline (``--history``);
 * ``perf-report`` — render the ledger as trend tables, sparklines, and
   top-mover phases; optionally export a flamegraph SVG / collapsed stacks;
-* ``cache``     — inspect or clear the on-disk run cache.
+* ``cache``     — inspect, checksum-verify, or clear the on-disk run cache;
+* ``resume``    — continue an interrupted sweep from its ``--journal`` file.
 
 Every experiment command executes its grid on :class:`repro.runner.Runner`:
-``--jobs N`` fans runs out over worker processes (results are byte-identical
-to serial), ``--cache`` reuses ``.runcache/`` results from previous
-invocations, and ``--cache-dir`` relocates the cache.  ``--trace-out PATH``
-captures causal span traces (task / probe / scheduler-decision lifecycles)
-as JSONL, ``--sample-interval S`` enables periodic state sampling (per-link
-utilization, queue depth, server load, telemetry staleness, decision error)
-plus health-rule alerts in the obs export, and ``--profile`` prints the
-engine's per-event-type hot-path profile after the grid completes.
+``--jobs N`` fans runs out over supervised worker processes (results are
+byte-identical to serial), ``--cache`` reuses ``.runcache/`` results from
+previous invocations, and ``--cache-dir`` relocates the cache.
+``--trace-out PATH`` captures causal span traces (task / probe /
+scheduler-decision lifecycles) as JSONL, ``--sample-interval S`` enables
+periodic state sampling (per-link utilization, queue depth, server load,
+telemetry staleness, decision error) plus health-rule alerts in the obs
+export, and ``--profile`` prints the engine's per-event-type hot-path
+profile after the grid completes.
+
+Resilience: ``--run-timeout`` bounds each run's wall clock (hung workers
+become structured failures), ``--retries`` re-runs crashed/timed-out cells
+on fresh workers with backoff, ``--journal PATH`` checkpoints per-run
+completion so ``--resume`` (or the ``resume`` command) restarts an
+interrupted sweep re-running only what's missing, and Ctrl-C exits with a
+summary after persisting everything already computed.
 
 All output is plain text tables (`repro.experiments.report`); ``--out``
 additionally writes the report to a file.  ``--obs-out PATH`` (``compare``
@@ -78,10 +87,12 @@ from repro.experiments.report import (
 
 SCALES = {"smoke": SMOKE_SCALE, "quick": QUICK_SCALE, "full": FULL_SCALE}
 
-# Mirrors repro.runner.bench.DEFAULT_HISTORY_PATH / DEFAULT_HISTORY_WINDOW;
-# duplicated here so building the parser never imports the runner stack.
+# Mirrors repro.runner.bench.DEFAULT_HISTORY_PATH / DEFAULT_HISTORY_WINDOW
+# and repro.runner.supervisor.DEFAULT_RETRIES; duplicated here so building
+# the parser never imports the runner stack.
 _DEFAULT_HISTORY = "BENCH_history.jsonl"
 _DEFAULT_WINDOW = 5
+_DEFAULT_RETRIES = 1
 FIGURES = {"fig5": (FIG5_CONFIG, "completion"), "fig6": (FIG6_CONFIG, "completion"),
            "fig7": (FIG7_CONFIG, "transfer")}
 _CLASSES = {c.label: c for c in SizeClass}
@@ -151,28 +162,83 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
              "evaluate health rules; the time series and alerts ride on the "
              "--obs-out export (see the dashboard command)",
     )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-run wall-clock timeout; a hung run is killed and recorded "
+             "as a structured failure instead of wedging the sweep "
+             "(default: auto-scaled from each run's expected duration when "
+             "supervised; 0 disables)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=_DEFAULT_RETRIES, metavar="N",
+        help="re-run a crashed/timed-out/raising run up to N extra times on "
+             "a fresh worker, with exponential backoff "
+             f"(default: {_DEFAULT_RETRIES})",
+    )
+    parser.add_argument(
+        "--journal", type=str, default=None, metavar="PATH",
+        help="checkpoint per-run completion state to this JSONL journal so "
+             "an interrupted sweep can be resumed (see --resume and the "
+             "resume command)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue the sweep recorded in --journal: already-completed "
+             "runs are served from the cache, only missing/failed ones "
+             "re-run (implies --cache)",
+    )
 
 
 def _runner_from_args(args: argparse.Namespace):
     """Build the Runner the command's grids execute on."""
-    from repro.runner import DEFAULT_CACHE_DIR, ResultCache, Runner
+    from repro.errors import ExperimentError
+    from repro.runner import DEFAULT_CACHE_DIR, ResultCache, RunJournal, Runner
 
+    journal_path = getattr(args, "journal", None)
+    resume = getattr(args, "resume", False)
+    if resume and not journal_path:
+        raise ExperimentError("--resume requires --journal PATH")
+    journal = None
+    if journal_path:
+        journal = RunJournal(journal_path)
+        if journal.exists() and not resume:
+            raise ExperimentError(
+                f"journal {journal_path} already exists; pass --resume to "
+                f"continue that sweep, or remove the file to start fresh"
+            )
     cache = None
     cache_dir = getattr(args, "cache_dir", None)
-    if getattr(args, "cache", False) or cache_dir:
+    # --resume implies --cache: completed cells are served from the cache,
+    # and without it every "done" journal entry would re-run anyway.
+    if getattr(args, "cache", False) or cache_dir or resume:
         cache = ResultCache(cache_dir or DEFAULT_CACHE_DIR)
     progress = None
-    if getattr(args, "jobs", 1) > 1 or cache is not None:
+    if getattr(args, "jobs", 1) > 1 or cache is not None or journal is not None:
         progress = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    runner_obs = None
+    if getattr(args, "obs_out", None):
+        # A hub for the runner's own resilience events (failures, retries,
+        # cache corruption); _finish_runner appends them to --obs-out.
+        from repro.obs import Observability
+
+        runner_obs = Observability()
     return Runner(
         jobs=getattr(args, "jobs", 1),
         cache=cache,
         progress=progress,
+        obs=runner_obs,
         trace=bool(getattr(args, "trace_out", None)),
         profile=bool(getattr(args, "profile", False)),
         mem_profile=bool(getattr(args, "mem_profile", False)),
         sample_interval=getattr(args, "sample_interval", None),
+        run_timeout=getattr(args, "run_timeout", None),
+        retries=getattr(args, "retries", 0),
+        journal=journal,
     )
+
+
+# Runner resilience event kinds that _finish_runner forwards to --obs-out.
+_RESILIENCE_EVENTS = {"runner_run_failed", "runner_run_retry", "cache_corrupt"}
 
 
 def _finish_runner(reporter: "_Reporter", args: argparse.Namespace, runner) -> None:
@@ -190,6 +256,25 @@ def _finish_runner(reporter: "_Reporter", args: argparse.Namespace, runner) -> N
             f"traces: {total} span records written to {trace_out} "
             f"(summarize with: repro trace-report {trace_out})"
         )
+    obs_out = getattr(args, "obs_out", None)
+    if obs_out and runner.obs is not None and os.path.exists(obs_out):
+        # Forward the runner's own resilience events (failures, retries,
+        # cache corruption) so obs-report can surface them.  Appended only
+        # when present: a clean sweep's export is byte-stable against the
+        # pre-supervision format.
+        resilience = [
+            record
+            for record in runner.obs.events.snapshot()
+            if record.get("event") in _RESILIENCE_EVENTS
+        ]
+        if resilience:
+            from repro.obs.export import write_jsonl
+
+            write_jsonl(resilience, obs_out, append=True)
+            reporter.emit(
+                f"observability: {len(resilience)} runner resilience "
+                f"record(s) appended to {obs_out}"
+            )
     if getattr(args, "profile", False) or getattr(args, "mem_profile", False):
         from repro.simnet.engine import render_profile
 
@@ -452,6 +537,69 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        DEFAULT_CACHE_DIR,
+        ResultCache,
+        RunJournal,
+        Runner,
+        canonical_json,
+    )
+
+    journal = RunJournal(args.journal)
+    state = journal.load(
+        on_warning=lambda msg: print(f"warning: {msg}", file=sys.stderr)
+    )
+    print(f"journal {args.journal}: {state.summary()}")
+    if not state.order:
+        print("error: journal records no runs; nothing to resume",
+              file=sys.stderr)
+        return 2
+    specs = [state.specs[spec_hash] for spec_hash in state.order]
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    runner = Runner(
+        jobs=args.jobs,
+        cache=cache,
+        progress=lambda line: print(line, file=sys.stderr),
+        run_timeout=args.run_timeout,
+        retries=args.retries,
+        journal=journal,
+        on_failure="keep",
+    )
+    results = runner.run(specs)
+    failures = [r for r in results if not r.ok]
+    print(
+        f"resume: {runner.stats.cache_hits} from cache, "
+        f"{runner.stats.executed} executed, {len(failures)} failed"
+    )
+    if args.payloads_out:
+        with open(args.payloads_out, "w", encoding="utf-8") as fh:
+            for result in results:
+                if result.ok:
+                    fh.write(
+                        canonical_json(
+                            {"spec_hash": result.spec_hash,
+                             "payload": result.payload}
+                        ) + "\n"
+                    )
+        print(
+            f"payloads: {sum(1 for r in results if r.ok)} record(s) "
+            f"written to {args.payloads_out} (journal order)"
+        )
+    if failures:
+        print("still failing after retries:", file=sys.stderr)
+        for result in failures:
+            failure = result.failure or {}
+            print(
+                f"  {result.spec.label()}: {failure.get('kind', '?')}/"
+                f"{failure.get('error_type', '?')} after "
+                f"{failure.get('attempts', '?')} attempt(s)",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def cmd_bench_runner(args: argparse.Namespace) -> int:
     import json
 
@@ -475,6 +623,8 @@ def cmd_bench_runner(args: argparse.Namespace) -> int:
         progress=lambda line: print(line, file=sys.stderr),
         profile=args.profile,
         mem_profile=args.mem_profile,
+        run_timeout=args.run_timeout,
+        retries=args.retries,
     )
     text = json.dumps(report, indent=2, sort_keys=True)
     print(text)
@@ -483,7 +633,7 @@ def cmd_bench_runner(args: argparse.Namespace) -> int:
             fh.write(text + "\n")
         print(f"benchmark written to {args.bench_out}", file=sys.stderr)
     if args.history:
-        append_history(report, args.history)
+        append_history(report, args.history, git_timeout=args.run_timeout)
         print(f"history: record appended to {args.history}", file=sys.stderr)
     _write_profile_exports(
         report.get("profile"),
@@ -536,6 +686,16 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = cache.clear()
         print(f"cleared {removed} cached run(s) from {cache.root}")
         return 0
+    if args.verify:
+        report = cache.verify()
+        print(
+            f"run cache {cache.root}: {report['checked']} entries checked, "
+            f"{report['ok']} ok, {len(report['evicted'])} corrupt (evicted), "
+            f"{len(report['unverified'])} without checksum"
+        )
+        for spec_hash, reason in report["evicted"]:
+            print(f"  evicted {spec_hash[:16]}: {reason}")
+        return 1 if report["evicted"] else 0
     entries = cache.entries()
     print(f"run cache {cache.root}: {len(entries)} entries, "
           f"{cache.size_bytes()} bytes")
@@ -809,6 +969,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mem-profile", action="store_true",
                    help="add memory attribution (gc counters, tracemalloc "
                         "top sites) to the profile; implies --profile")
+    p.add_argument("--run-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-run wall-clock timeout for every pass, and the "
+                        "bound on the git-commit lookup for the history "
+                        "record (default: unbounded runs, 10s git lookup)")
+    p.add_argument("--retries", type=int, default=0, metavar="N",
+                   help="retry crashed/timed-out runs up to N times "
+                        "(default: 0 — a bench should measure, not mask)")
     p.add_argument("--history", type=str, nargs="?",
                    default=_DEFAULT_HISTORY, const=_DEFAULT_HISTORY,
                    metavar="PATH",
@@ -825,10 +993,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "format (flamegraph.pl / speedscope compatible)")
     p.set_defaults(fn=cmd_bench_runner)
 
-    p = sub.add_parser("cache", help="inspect or clear the run cache")
+    p = sub.add_parser("cache", help="inspect, verify, or clear the run cache")
     p.add_argument("--clear", action="store_true", help="delete every entry")
+    p.add_argument("--verify", action="store_true",
+                   help="checksum-verify every entry, evicting corrupt ones "
+                        "(exit 1 if any were evicted)")
     p.add_argument("--cache-dir", type=str, default=None, metavar="DIR")
     p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "resume",
+        help="resume an interrupted sweep from its --journal file: "
+             "completed runs come from the cache, missing/failed ones "
+             "re-run",
+    )
+    p.add_argument("journal", help="JSONL journal written via --journal")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default: 1)")
+    p.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                   help="run-cache directory holding the completed results "
+                        "(default: .runcache)")
+    p.add_argument("--run-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-run wall-clock timeout (default: auto-scaled "
+                        "when supervised; 0 disables)")
+    p.add_argument("--retries", type=int, default=_DEFAULT_RETRIES,
+                   metavar="N",
+                   help="extra attempts per crashed/timed-out run "
+                        f"(default: {_DEFAULT_RETRIES})")
+    p.add_argument("--payloads-out", type=str, default=None, metavar="PATH",
+                   help="write one {spec_hash, payload} JSON line per "
+                        "completed run, in journal order — byte-identical "
+                        "to the same export from an uninterrupted sweep")
+    p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser("obs-report", help="summarize an --obs-out JSONL export")
     p.add_argument("path", help="JSONL file written via --obs-out")
@@ -921,8 +1118,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.fn(args)
     except ReproError as exc:
+        from repro.runner.supervisor import RunInterrupted, RunsFailedError
+
+        if isinstance(exc, RunInterrupted):
+            # Completed results (and the journal, if one was requested) are
+            # already persisted; summarize and exit with the SIGINT code.
+            pending = max(0, exc.total - exc.completed - exc.failed)
+            print("\nsweep interrupted", file=sys.stderr)
+            print(f"  completed : {exc.completed}/{exc.total}", file=sys.stderr)
+            print(f"  failed    : {exc.failed}", file=sys.stderr)
+            print(f"  pending   : {pending}", file=sys.stderr)
+            if exc.journal_path:
+                print(
+                    f"  resume    : repro resume {exc.journal_path}",
+                    file=sys.stderr,
+                )
+            return 130
+        if isinstance(exc, RunsFailedError):
+            print(f"error: {exc}", file=sys.stderr)
+            for result in exc.failures:
+                failure = result.failure or {}
+                print(
+                    f"  {result.spec.label()}: {failure.get('kind', '?')}/"
+                    f"{failure.get('error_type', '?')} after "
+                    f"{failure.get('attempts', '?')} attempt(s)"
+                    + (
+                        f" (signal {failure['signal']})"
+                        if failure.get("signal")
+                        else ""
+                    ),
+                    file=sys.stderr,
+                )
+            return 1
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

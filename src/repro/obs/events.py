@@ -35,6 +35,12 @@ EVENT_KINDS = {
     "node_quarantined": ("node", "age"),
     "node_unquarantined": ("node",),
     "alert":            ("rule", "series", "target", "value", "threshold", "state"),
+    # Runner resilience (emitted on the runner's own hub, wall-clock time):
+    "runner_run_failed": ("label", "spec_hash", "failure_kind", "error_type",
+                          "message", "attempts", "exit_signal"),
+    "runner_run_retry":  ("spec_hash", "attempt", "failure_kind", "error_type",
+                          "backoff_s"),
+    "cache_corrupt":     ("spec_hash", "reason"),
 }
 
 DEFAULT_MAX_EVENTS = 200_000
@@ -148,6 +154,45 @@ class EventLog:
             value=value, threshold=threshold, state=state,
             **extra,
         )
+
+    def runner_run_failed(
+        self,
+        *,
+        label: str,
+        spec_hash: str,
+        failure_kind: Optional[str],
+        error_type: Optional[str],
+        message: Optional[str],
+        attempts: int,
+        exit_signal: Optional[str],
+        **extra: Any,
+    ) -> None:
+        """One run exhausted its retries; fields mirror the failure envelope."""
+        self.emit(
+            "runner_run_failed",
+            label=label, spec_hash=spec_hash, failure_kind=failure_kind,
+            error_type=error_type, message=message, attempts=attempts,
+            exit_signal=exit_signal, **extra,
+        )
+
+    def runner_run_retry(
+        self,
+        *,
+        spec_hash: str,
+        attempt: int,
+        failure_kind: Optional[str],
+        error_type: Optional[str],
+        backoff_s: float,
+        **extra: Any,
+    ) -> None:
+        self.emit(
+            "runner_run_retry",
+            spec_hash=spec_hash, attempt=attempt, failure_kind=failure_kind,
+            error_type=error_type, backoff_s=backoff_s, **extra,
+        )
+
+    def cache_corrupt(self, *, spec_hash: str, reason: str, **extra: Any) -> None:
+        self.emit("cache_corrupt", spec_hash=spec_hash, reason=reason, **extra)
 
     # -- queries -----------------------------------------------------------
 

@@ -139,6 +139,46 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
         for name, count in sorted(event_counts.items()):
             lines.append(f"  {name:<18} {count}")
 
+    # Runner resilience: failure envelopes, retries, and cache corruption
+    # recorded by the supervision layer (see repro.runner.supervisor).
+    failed = [
+        r for r in records
+        if r.get("kind") == "event" and r.get("event") == "runner_run_failed"
+    ]
+    retried = [
+        r for r in records
+        if r.get("kind") == "event" and r.get("event") == "runner_run_retry"
+    ]
+    corrupt = [
+        r for r in records
+        if r.get("kind") == "event" and r.get("event") == "cache_corrupt"
+    ]
+    if failed or retried or corrupt:
+        lines.append("runner resilience:")
+        if failed:
+            lines.append(f"  failed runs: {len(failed)}")
+            for r in failed:
+                signal_note = (
+                    f", signal {r['exit_signal']}" if r.get("exit_signal") else ""
+                )
+                lines.append(
+                    f"    {r.get('label', r.get('spec_hash', '?'))}: "
+                    f"{r.get('failure_kind', '?')}/{r.get('error_type', '?')} "
+                    f"after {r.get('attempts', '?')} attempt(s){signal_note}"
+                )
+        if retried:
+            by_kind: Dict[str, int] = {}
+            for r in retried:
+                key = str(r.get("failure_kind", "?"))
+                by_kind[key] = by_kind.get(key, 0) + 1
+            detail = ", ".join(f"{k} {n}" for k, n in sorted(by_kind.items()))
+            lines.append(f"  retries: {len(retried)} ({detail})")
+        if corrupt:
+            lines.append(
+                f"  corrupt cache entries evicted: {len(corrupt)} "
+                f"({', '.join(str(r.get('spec_hash', '?')) for r in corrupt)})"
+            )
+
     # Per-run completion-time quantiles: merge the task_completion_seconds
     # histogram digests (per size class) into one per-run digest — merging
     # is exact, so this equals a digest built from every raw observation.

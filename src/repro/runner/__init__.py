@@ -7,8 +7,13 @@ The evaluation is a grid of independent simulation runs; this package turns
   frozen, JSON-canonical, content-hashed;
 * :mod:`repro.runner.cache` — ``.runcache/<hash>.json`` content-addressed
   result store;
-* :mod:`repro.runner.runner` — :class:`Runner` (serial or process-pool
+* :mod:`repro.runner.runner` — :class:`Runner` (serial or supervised
   execution, deterministic either way) and :func:`expand_grid`;
+* :mod:`repro.runner.supervisor` — process-per-run supervision: per-run
+  wall-clock timeouts, crash/timeout retry with backoff, failure
+  envelopes, deterministic chaos injection for the harness's own tests;
+* :mod:`repro.runner.journal` — the ``--resume`` checkpoint journal
+  (atomic JSONL appends of per-spec completion state);
 * :mod:`repro.runner.bench` — the serial/parallel/cached benchmark behind
   ``repro bench-runner`` (imported lazily; not re-exported here so worker
   processes don't pay for the experiments import).
@@ -26,12 +31,19 @@ from repro.runner.spec import (
     spec_from_dict,
 )
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache
+from repro.runner.journal import JournalState, RunJournal
 from repro.runner.runner import (
     Runner,
     RunnerStats,
     RunResult,
     execute_spec,
     expand_grid,
+)
+from repro.runner.supervisor import (
+    RunInterrupted,
+    RunsFailedError,
+    Supervisor,
+    default_run_timeout,
 )
 
 __all__ = [
@@ -48,4 +60,10 @@ __all__ = [
     "RunResult",
     "execute_spec",
     "expand_grid",
+    "RunJournal",
+    "JournalState",
+    "Supervisor",
+    "RunInterrupted",
+    "RunsFailedError",
+    "default_run_timeout",
 ]

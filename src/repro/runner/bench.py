@@ -109,6 +109,8 @@ def run_bench(
     progress: Optional[Callable[[str], None]] = None,
     profile: bool = True,
     mem_profile: bool = False,
+    run_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> Dict[str, Any]:
     """Time the grid serial / parallel / cached; return the report dict.
 
@@ -124,20 +126,30 @@ def run_bench(
     ``parallel_valid`` records whether the parallel timing means anything:
     on a host with fewer CPUs than ``jobs`` the pool just multiplexes one
     core and the number measures spawn overhead, so it is annotated false
-    and excluded from comparisons rather than flagged as a regression."""
+    and excluded from comparisons rather than flagged as a regression.
+
+    ``run_timeout``/``retries`` plumb the resilience knobs into each pass
+    (see :class:`Runner`).  A positive ``run_timeout`` moves the serial
+    pass under supervision (one child process per run), which adds spawn
+    overhead to ``serial_s`` — leave it unset for honest timing."""
     profile = profile or mem_profile
     specs = bench_grid_specs(scale, seed)
     say = progress if progress is not None else (lambda _line: None)
     cpus = os.cpu_count() or 1
 
     say(f"serial: {len(specs)} runs ...")
-    serial_runner = Runner(jobs=1, profile=profile, mem_profile=mem_profile)
+    serial_runner = Runner(
+        jobs=1, profile=profile, mem_profile=mem_profile,
+        run_timeout=run_timeout, retries=retries,
+    )
     t0 = time.perf_counter()
     serial = serial_runner.run(specs)
     serial_s = time.perf_counter() - t0
 
     say(f"parallel: {len(specs)} runs on {jobs} workers ...")
-    parallel_runner = Runner(jobs=jobs, profile=profile)
+    parallel_runner = Runner(
+        jobs=jobs, profile=profile, run_timeout=run_timeout, retries=retries,
+    )
     t0 = time.perf_counter()
     parallel = parallel_runner.run(specs)
     parallel_s = time.perf_counter() - t0
@@ -146,7 +158,10 @@ def run_bench(
     cache = ResultCache(cache_root)
     for result in serial:
         cache.put(result.spec_hash, result.to_json().encode("utf-8"))
-    cached_runner = Runner(jobs=1, cache=cache, profile=profile)
+    cached_runner = Runner(
+        jobs=1, cache=cache, profile=profile,
+        run_timeout=run_timeout, retries=retries,
+    )
     t0 = time.perf_counter()
     cached = cached_runner.run(specs)
     cached_s = time.perf_counter() - t0
@@ -201,34 +216,45 @@ def parallel_valid(report: Dict[str, Any]) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def history_record(report: Dict[str, Any]) -> Dict[str, Any]:
+# Fallback ceiling for the git-commit lookup when no --run-timeout is
+# plumbed through: generous, but still bounded.
+DEFAULT_GIT_TIMEOUT_S = 10.0
+
+
+def history_record(
+    report: Dict[str, Any], *, git_timeout: Optional[float] = None
+) -> Dict[str, Any]:
     """Shape one ``run_bench`` report into a provenance-stamped ledger line.
 
     Keeps the timing metrics and the phase profile; stamps UTC wall time
     and, when available, the current git commit so ``perf-report`` can
     label trend points.  The record is self-contained — reading the ledger
-    never requires the original ``BENCH_*.json`` files."""
+    never requires the original ``BENCH_*.json`` files.  ``git_timeout``
+    bounds the commit lookup; ``bench-runner`` plumbs ``--run-timeout``
+    through here so one knob governs every subprocess the bench spawns."""
     stamp = {
         "recorded_at": datetime.datetime.now(datetime.timezone.utc).strftime(
             "%Y-%m-%dT%H:%M:%SZ"
         ),
-        "git_commit": _git_commit(),
+        "git_commit": _git_commit(timeout=git_timeout),
     }
     record = dict(report)
     record["provenance"] = stamp
     return record
 
 
-def _git_commit() -> Optional[str]:
+def _git_commit(timeout: Optional[float] = None) -> Optional[str]:
     """Current short commit hash, or None outside a git checkout."""
     import subprocess
 
+    if timeout is None or timeout <= 0:
+        timeout = DEFAULT_GIT_TIMEOUT_S
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
             capture_output=True,
             text=True,
-            timeout=10,
+            timeout=timeout,
         )
     except (OSError, subprocess.SubprocessError):
         return None
@@ -237,19 +263,40 @@ def _git_commit() -> Optional[str]:
     return out.stdout.strip() or None
 
 
-def append_history(report: Dict[str, Any], path: str) -> Dict[str, Any]:
-    """Append one report to the ledger at ``path``; returns the record."""
-    record = history_record(report)
+def append_history(
+    report: Dict[str, Any], path: str, *, git_timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Append one report to the ledger at ``path``; returns the record.
+
+    The append is a single ``os.write`` to an ``O_APPEND`` descriptor, so a
+    ``bench-runner`` killed mid-append cannot interleave with a concurrent
+    writer and at worst leaves one torn final line — which
+    :func:`read_history` skips with a warning instead of failing
+    ``perf-report``/``bench-compare --history``."""
+    record = history_record(report, git_timeout=git_timeout)
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(path, "a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
     return record
 
 
-def read_history(path: str) -> List[Dict[str, Any]]:
-    """Load ledger records oldest-first; raises on malformed lines."""
+def read_history(
+    path: str, *, on_warning: Optional[Callable[[str], None]] = None
+) -> List[Dict[str, Any]]:
+    """Load ledger records oldest-first, skipping malformed lines.
+
+    A torn line (writer killed mid-append under a pre-atomic writer, disk
+    full, stray edit) costs that record only: it is skipped with a warning
+    through ``on_warning`` (default: stderr) rather than making the whole
+    ledger unreadable."""
+    if on_warning is None:
+        on_warning = lambda msg: print(f"warning: {msg}", file=sys.stderr)  # noqa: E731
     records: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -259,13 +306,15 @@ def read_history(path: str) -> List[Dict[str, Any]]:
             try:
                 record = json.loads(line)
             except ValueError as exc:
-                raise ExperimentError(
-                    f"{path}:{lineno}: malformed history record: {exc}"
-                ) from exc
-            if not isinstance(record, dict):
-                raise ExperimentError(
-                    f"{path}:{lineno}: history record is not an object"
+                on_warning(
+                    f"{path}:{lineno}: skipping malformed history record: {exc}"
                 )
+                continue
+            if not isinstance(record, dict):
+                on_warning(
+                    f"{path}:{lineno}: skipping history record: not an object"
+                )
+                continue
             records.append(record)
     return records
 

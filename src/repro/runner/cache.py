@@ -1,76 +1,210 @@
-"""Content-addressed, on-disk result cache.
+"""Content-addressed, on-disk result cache with self-verifying reads.
 
 Each completed run is stored as ``<root>/<spec-hash>.json`` — the full
-:class:`~repro.runner.runner.RunResult` envelope, byte-for-byte.  The spec
-hash covers everything that can change the output (including fault-plan
-*contents* and calibration-curve knots), so a hit can be trusted blindly and
-a repeated sweep skips every already-computed cell.
+:class:`~repro.runner.runner.RunResult` envelope, byte-for-byte — alongside
+a ``<spec-hash>.json.sha256`` sidecar holding the SHA-256 of those exact
+bytes.  The spec hash covers everything that can change the output
+(including fault-plan *contents* and calibration-curve knots), so a hit can
+be trusted blindly and a repeated sweep skips every already-computed cell.
 
-Writes are atomic (temp file + rename) so a killed sweep never leaves a
-truncated entry; reads validate that the stored envelope names the hash it
-is filed under and treat anything corrupt as a miss.
+Crash safety is defense in depth:
+
+* **writes** are atomic (temp file + ``os.replace``) for both the entry and
+  its sidecar, so a killed sweep never leaves a truncated entry under a
+  final name;
+* **reads** verify the stored bytes against the sidecar checksum; an entry
+  whose bytes don't hash to the recorded digest (bit rot, torn write from a
+  pre-sidecar writer, hand editing) is **evicted** — deleted with a warning
+  through ``on_corrupt`` — and reported as a miss so the run recomputes;
+* entries written before sidecars existed (no ``.sha256`` file) fall back
+  to JSON-parse + filed-under-the-right-hash validation, the original
+  contract; failures there also evict.
+
+A misfiled-but-intact entry (valid envelope naming a different hash) is a
+plain miss, not corruption: the bytes are fine, they're just the answer to
+a different question.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
-from typing import List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 __all__ = ["DEFAULT_CACHE_DIR", "ResultCache"]
 
 DEFAULT_CACHE_DIR = ".runcache"
 
+_SIDECAR_SUFFIX = ".sha256"
+
 
 class ResultCache:
-    """A directory of ``<spec-hash>.json`` result envelopes."""
+    """A directory of ``<spec-hash>.json`` result envelopes.
 
-    def __init__(self, root: str = DEFAULT_CACHE_DIR) -> None:
+    ``on_corrupt(spec_hash, reason)`` is called once per evicted entry; the
+    runner wires it to a ``cache_corrupt`` warning event."""
+
+    def __init__(
+        self,
+        root: str = DEFAULT_CACHE_DIR,
+        *,
+        on_corrupt: Optional[Callable[[str, str], None]] = None,
+    ) -> None:
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.on_corrupt = on_corrupt
 
     def path(self, spec_hash: str) -> str:
         return os.path.join(self.root, f"{spec_hash}.json")
 
-    def get(self, spec_hash: str) -> Optional[bytes]:
-        """The exact bytes stored for ``spec_hash``, or None on a miss.
+    def sidecar_path(self, spec_hash: str) -> str:
+        return self.path(spec_hash) + _SIDECAR_SUFFIX
 
-        Returning the raw bytes (rather than a parsed object) is the cache's
-        contract: a hit is byte-identical to what the original run wrote."""
-        try:
-            with open(self.path(spec_hash), "rb") as fh:
-                data = fh.read()
-        except OSError:
-            self.misses += 1
-            return None
-        try:
-            envelope = json.loads(data)
-        except json.JSONDecodeError:
-            self.misses += 1
-            return None
-        if not isinstance(envelope, dict) or envelope.get("spec_hash") != spec_hash:
-            # Filed under the wrong name or hand-edited: recompute.
-            self.misses += 1
-            return None
-        self.hits += 1
-        return data
+    # -- internal helpers --------------------------------------------------
 
-    def put(self, spec_hash: str, data: bytes) -> None:
-        """Atomically store ``data`` as the entry for ``spec_hash``."""
-        os.makedirs(self.root, exist_ok=True)
+    def _atomic_write(self, final_path: str, data: bytes) -> None:
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(data)
-            os.replace(tmp, self.path(spec_hash))
+            os.replace(tmp, final_path)
         except BaseException:
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
             raise
+
+    def _evict(self, spec_hash: str, reason: str) -> None:
+        """Delete a corrupt entry (and sidecar) and report it."""
+        for path in (self.path(spec_hash), self.sidecar_path(spec_hash)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self.evictions += 1
+        if self.on_corrupt is not None:
+            self.on_corrupt(spec_hash, reason)
+
+    def _validate(self, spec_hash: str, data: bytes) -> Optional[str]:
+        """None if ``data`` is a trustworthy entry for ``spec_hash``; an
+        eviction reason if it is corrupt; ``"misfiled"`` (a plain miss, no
+        eviction) if intact but filed under the wrong hash."""
+        expected = self._read_sidecar(spec_hash)
+        if expected is not None:
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != expected:
+                return (
+                    f"checksum mismatch (stored {expected[:12]}…, "
+                    f"actual {actual[:12]}…)"
+                )
+        # Structural validation: always required (a checksummed entry can
+        # still be misfiled — intact bytes filed under the wrong name);
+        # for legacy entries without a sidecar it is the only validation.
+        try:
+            envelope = json.loads(data)
+        except json.JSONDecodeError as exc:
+            return f"invalid JSON ({exc.msg} at char {exc.pos})"
+        if not isinstance(envelope, dict):
+            return "envelope is not a JSON object"
+        if envelope.get("spec_hash") != spec_hash:
+            return "misfiled"
+        return None
+
+    def _read_sidecar(self, spec_hash: str) -> Optional[str]:
+        try:
+            with open(self.sidecar_path(spec_hash), "r", encoding="ascii") as fh:
+                digest = fh.read().strip()
+        except (OSError, UnicodeDecodeError):
+            return None
+        return digest if len(digest) == 64 else None
+
+    # -- public API --------------------------------------------------------
+
+    def get(self, spec_hash: str) -> Optional[bytes]:
+        """The exact bytes stored for ``spec_hash``, or None on a miss.
+
+        Returning the raw bytes (rather than a parsed object) is the cache's
+        contract: a hit is byte-identical to what the original run wrote.
+        Bytes are checksum-verified against the sidecar before being served;
+        a corrupt entry is evicted and reported as a miss."""
+        try:
+            with open(self.path(spec_hash), "rb") as fh:
+                data = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        reason = self._validate(spec_hash, data)
+        if reason == "misfiled":
+            # Filed under the wrong name or hand-edited into a different
+            # (valid) envelope: not this spec's answer, but not garbage
+            # either — leave it alone and recompute.
+            self.misses += 1
+            return None
+        if reason is not None:
+            self._evict(spec_hash, reason)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def put(self, spec_hash: str, data: bytes) -> None:
+        """Atomically store ``data`` (and its checksum) for ``spec_hash``.
+
+        The entry lands before the sidecar; a crash between the two leaves
+        an entry validated by the legacy JSON-parse path (or, if a stale
+        sidecar survives from an older entry, a checksum mismatch that
+        evicts and recomputes) — conservative either way, never a wrong
+        result served as a hit."""
+        os.makedirs(self.root, exist_ok=True)
+        # Remove any stale sidecar first so a crash after the entry write
+        # can't pair new bytes with an old digest.
+        try:
+            os.unlink(self.sidecar_path(spec_hash))
+        except OSError:
+            pass
+        self._atomic_write(self.path(spec_hash), data)
+        digest = hashlib.sha256(data).hexdigest()
+        self._atomic_write(
+            self.sidecar_path(spec_hash), (digest + "\n").encode("ascii")
+        )
+
+    def verify(self) -> Dict[str, Any]:
+        """Scan every entry, evicting corrupt ones.
+
+        Returns ``{"checked": n, "ok": n, "evicted": [(hash, reason), ...],
+        "unverified": [hash, ...]}`` where ``unverified`` lists legacy
+        entries that passed structural validation but have no checksum."""
+        evicted: List[Any] = []
+        unverified: List[str] = []
+        checked = 0
+        for spec_hash in self.entries():
+            checked += 1
+            try:
+                with open(self.path(spec_hash), "rb") as fh:
+                    data = fh.read()
+            except OSError as exc:
+                self._evict(spec_hash, f"unreadable ({exc.__class__.__name__})")
+                evicted.append((spec_hash, "unreadable"))
+                continue
+            reason = self._validate(spec_hash, data)
+            if reason == "misfiled" or (
+                reason is None and self._read_sidecar(spec_hash) is None
+            ):
+                unverified.append(spec_hash)
+            elif reason is not None:
+                self._evict(spec_hash, reason)
+                evicted.append((spec_hash, reason))
+        return {
+            "checked": checked,
+            "ok": checked - len(evicted),
+            "evicted": evicted,
+            "unverified": unverified,
+        }
 
     def entries(self) -> List[str]:
         """Spec hashes currently cached (sorted)."""
@@ -79,7 +213,9 @@ class ResultCache:
         except OSError:
             return []
         return sorted(
-            name[: -len(".json")] for name in names if name.endswith(".json")
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json")
         )
 
     def size_bytes(self) -> int:
@@ -92,12 +228,17 @@ class ResultCache:
         return total
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and sidecar); returns how many entries were
+        removed (sidecars don't count)."""
         removed = 0
         for spec_hash in self.entries():
             try:
                 os.unlink(self.path(spec_hash))
                 removed += 1
+            except OSError:
+                pass
+            try:
+                os.unlink(self.sidecar_path(spec_hash))
             except OSError:
                 pass
         return removed
@@ -108,5 +249,5 @@ class ResultCache:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<ResultCache root={self.root!r} entries={len(self)} "
-            f"hits={self.hits} misses={self.misses}>"
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions}>"
         )

@@ -1,18 +1,26 @@
-"""The Runner: grid expansion, pooled execution, and result envelopes.
+"""The Runner: grid expansion, supervised execution, and result envelopes.
 
 The paper's evaluation is a grid of independent simulation runs — policy ×
 size class × seed × probing interval × fault scenario.  The Runner executes
-any list of specs (see :mod:`repro.runner.spec`) either serially or on a
-``ProcessPoolExecutor``, with:
+any list of specs (see :mod:`repro.runner.spec`) either serially in-process
+or under the supervision layer (:mod:`repro.runner.supervisor`), with:
 
-* **per-run process isolation** — workers use the ``spawn`` start method
-  (no inherited parent state) and, where the interpreter supports it, one
-  process per run;
+* **per-run process isolation** — supervised workers use the ``spawn``
+  start method (no inherited parent state) and one fresh process per
+  attempt;
+* **resilience** — per-run wall-clock timeouts, crash/timeout retry with
+  exponential backoff, structured ``failure`` envelopes on results instead
+  of lost sweeps, and graceful Ctrl-C that persists completed work;
 * **determinism** — a run's payload depends only on its spec; serial and
   parallel executions of the same grid produce byte-identical payloads
   (asserted by ``repro bench-runner`` and the CI bench-smoke job);
 * **content-addressed caching** — completed envelopes land in
-  ``.runcache/<hash>.json`` and repeated sweeps skip already-computed cells;
+  ``.runcache/<hash>.json`` (checksum-verified on read, see
+  :mod:`repro.runner.cache`) the moment each run finishes, so a crash
+  never loses completed cells;
+* **checkpointed resume** — an optional :class:`~repro.runner.journal.
+  RunJournal` records per-spec completion state, letting ``--resume``
+  re-run only missing/failed cells;
 * **progress/ETA** — wall-clock progress lines via a callback plus metrics
   and events on an optional :class:`repro.obs.Observability` hub.
 
@@ -24,19 +32,26 @@ from __future__ import annotations
 
 import itertools
 import json
-import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.runner.cache import ResultCache
+from repro.runner.journal import RunJournal
 from repro.runner.spec import (
     CalibrationSpec,
     RunSpec,
     canonical_json,
     spec_from_dict,
+)
+from repro.runner.supervisor import (
+    RunInterrupted,
+    RunsFailedError,
+    Supervisor,
+    backoff_delay,
+    default_run_timeout,
+    failure_from_exception,
 )
 from repro.simnet.random import derive_seed
 
@@ -55,14 +70,18 @@ __all__ = [
 
 @dataclass
 class RunResult:
-    """One completed run: payload plus provenance, content-addressed.
+    """One completed (or failed) run: payload plus provenance, content-
+    addressed.
 
     ``payload`` is the deterministic part (metrics, per-task records, obs
     exports) — byte-identical across serial/parallel/cached executions of
     the same spec.  ``provenance`` records how this particular execution
     happened (code version, wall time, executor) and is excluded from
     determinism comparisons.  ``raw`` holds the exact cached bytes when the
-    result came off disk."""
+    result came off disk.  ``failure``, when set, is the structured failure
+    envelope of a run that exhausted its retries (kind, exception type,
+    traceback, attempt count, worker exit signal); failed results have an
+    empty payload and are never cached."""
 
     spec: Any
     spec_hash: str
@@ -70,18 +89,28 @@ class RunResult:
     provenance: Dict[str, Any] = field(default_factory=dict)
     from_cache: bool = False
     raw: Optional[bytes] = None
+    failure: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
 
     def payload_json(self) -> str:
         """Canonical JSON of the deterministic payload."""
         return canonical_json(self.payload)
 
     def to_envelope(self) -> Dict[str, Any]:
-        return {
+        envelope = {
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec_hash,
             "payload": self.payload,
             "provenance": self.provenance,
         }
+        # Only failed results carry the key at all, so successful envelope
+        # bytes are unchanged from the pre-supervision format.
+        if self.failure is not None:
+            envelope["failure"] = self.failure
+        return envelope
 
     def to_json(self) -> str:
         return canonical_json(self.to_envelope())
@@ -101,14 +130,24 @@ class RunResult:
             provenance=dict(envelope.get("provenance", {})),
             from_cache=from_cache,
             raw=raw,
+            failure=envelope.get("failure"),
         )
 
     # -- typed views -------------------------------------------------------
+
+    def _require_ok(self) -> None:
+        if self.failure is not None:
+            raise ExperimentError(
+                f"run {self.spec.label()} failed "
+                f"({self.failure.get('kind', '?')}: "
+                f"{self.failure.get('message', '?')}); no payload to read"
+            )
 
     def experiment_result(self) -> Any:
         """Rebuild the full :class:`ExperimentResult` for this cell."""
         from repro.experiments.export import result_from_dict
 
+        self._require_ok()
         if not isinstance(self.spec, RunSpec):
             raise ExperimentError(
                 f"spec kind {type(self.spec).__name__} is not an experiment"
@@ -118,6 +157,7 @@ class RunResult:
     def calibration_point(self) -> Any:
         from repro.experiments.calibration import CalibrationPoint
 
+        self._require_ok()
         if not isinstance(self.spec, CalibrationSpec):
             raise ExperimentError(
                 f"spec kind {type(self.spec).__name__} is not a calibration run"
@@ -223,9 +263,9 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
 def _execute_envelope_json(spec_json: str) -> str:
     """Worker entry point: spec JSON in, canonical envelope JSON out.
 
-    Serial and pooled execution share this function so their envelopes are
-    produced by the same code path; only ``provenance.wall_time_s`` (and the
-    executor tag the parent stamps) can differ between them."""
+    Serial and supervised execution share this function so their envelopes
+    are produced by the same code path; only ``provenance.wall_time_s`` (and
+    the executor tag the parent stamps) can differ between them."""
     import repro
 
     spec = spec_from_dict(json.loads(spec_json))
@@ -298,18 +338,38 @@ class RunnerStats:
     total: int = 0
     executed: int = 0
     cache_hits: int = 0
+    failed: int = 0
+    retried: int = 0
     wall_time_s: float = 0.0
 
 
 class Runner:
-    """Execute spec lists serially or on a process pool, with caching.
+    """Execute spec lists serially or under supervision, with caching.
 
-    ``jobs=1`` runs in-process (no pool, no pickling).  ``jobs>1`` fans out
-    over ``spawn``-started worker processes — one run per process where the
-    interpreter supports ``max_tasks_per_child`` — so no run ever observes
-    another's interpreter state.  ``cache`` (a :class:`ResultCache`) makes
-    completed cells free on re-run.  ``progress`` receives one human line
-    per completed run including an ETA; ``obs`` (a
+    ``jobs=1`` without a ``run_timeout`` runs in-process (no child
+    processes, no pickling) with exception-level retry and graceful
+    Ctrl-C.  ``jobs>1``, or ``jobs=1`` with a positive ``run_timeout``,
+    runs under the :class:`~repro.runner.supervisor.Supervisor`: one
+    ``spawn``-started process per attempt, per-run wall-clock deadlines,
+    and crash recovery — no run ever observes another's interpreter state
+    and a hung or killed worker costs only its own cell.
+
+    Resilience knobs:
+
+    * ``run_timeout`` — seconds per run; ``None`` scales a generous default
+      from each spec (supervised runs only), ``0`` disables deadlines;
+    * ``retries`` — extra attempts after a crash/timeout/exception, with
+      exponential backoff (``backoff_base`` doubling per attempt);
+    * ``journal`` — a :class:`~repro.runner.journal.RunJournal` recording
+      per-spec completion for ``--resume``;
+    * ``on_failure`` — ``"raise"`` (default) raises :class:`RunsFailedError`
+      after the whole grid has been attempted; ``"keep"`` returns failed
+      results (with their ``failure`` envelopes) in place.
+
+    ``cache`` (a :class:`ResultCache`) makes completed cells free on
+    re-run; results are persisted the moment each run finishes, so crashes
+    lose nothing completed.  ``progress`` receives one human line per
+    completed run including an ETA; ``obs`` (a
     :class:`repro.obs.Observability`) additionally records runner metrics
     and per-run events."""
 
@@ -324,13 +384,33 @@ class Runner:
         profile: bool = False,
         mem_profile: bool = False,
         sample_interval: Optional[float] = None,
+        run_timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff_base: float = 0.5,
+        journal: Optional[RunJournal] = None,
+        on_failure: str = "raise",
     ) -> None:
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ExperimentError(f"retries must be >= 0, got {retries}")
+        if run_timeout is not None and run_timeout < 0:
+            raise ExperimentError(
+                f"run_timeout must be >= 0 (0 disables), got {run_timeout}"
+            )
+        if on_failure not in ("raise", "keep"):
+            raise ExperimentError(
+                f"on_failure must be 'raise' or 'keep', got {on_failure!r}"
+            )
         self.jobs = jobs
         self.cache = cache
         self.progress = progress
         self.obs = obs
+        self.run_timeout = run_timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.journal = journal
+        self.on_failure = on_failure
         # Instrumentation: stamp every incoming spec with these flags before
         # hashing (so traced/profiled/sampled cells never alias plain cache
         # entries) and accumulate the per-run outputs across run() calls.
@@ -346,6 +426,8 @@ class Runner:
             clock = lambda: time.monotonic() - started  # noqa: E731
             obs.metrics.bind_clock(clock)
             obs.events.bind_clock(clock)
+        if cache is not None and cache.on_corrupt is None:
+            cache.on_corrupt = self._on_cache_corrupt
         self.stats = RunnerStats()
 
     # -- public API --------------------------------------------------------
@@ -354,7 +436,12 @@ class Runner:
         """Execute every spec; results come back in spec order.
 
         Duplicate specs (same content hash) execute once and share their
-        result object."""
+        result object.  Each completed run is cached and journaled the
+        moment it finishes.  On Ctrl-C, completed work stays persisted and
+        :class:`RunInterrupted` propagates with a resume summary; if any
+        run fails after its retries and ``on_failure == "raise"``,
+        :class:`RunsFailedError` is raised *after* the whole grid was
+        attempted."""
         started = time.monotonic()
         if self.trace or self.profile or self.sample_interval is not None:
             specs = [
@@ -367,13 +454,22 @@ class Runner:
                 for spec in specs
             ]
         hashes = [spec.content_hash() for spec in specs]
-        stats = RunnerStats(total=len(specs))
+        # Bind self.stats immediately: _on_retry bumps self.stats.retried
+        # mid-run, so it must be the same object we account into here.
+        stats = self.stats = RunnerStats(total=len(specs))
         results: Dict[str, RunResult] = {}
 
         # Unique work, in first-appearance order.
         unique: Dict[str, Any] = {}
         for spec, spec_hash in zip(specs, hashes):
             unique.setdefault(spec_hash, spec)
+
+        # Journal the full grid up front: the journal alone must be able to
+        # reconstruct every cell of an interrupted sweep, cache hits
+        # included.
+        if self.journal is not None:
+            for spec_hash, spec in unique.items():
+                self.journal.scheduled(spec_hash, spec)
 
         pending: List[str] = []
         done = 0
@@ -385,42 +481,110 @@ class Runner:
                 )
                 stats.cache_hits += 1
                 done += 1
+                if self.journal is not None:
+                    self.journal.done(spec_hash, cached=True)
                 self._report(spec, spec_hash, done, len(unique), started, cached=True)
             else:
                 pending.append(spec_hash)
 
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                executor_tag = "process-pool"
-                envelope_jsons = self._run_pool(
-                    [(h, unique[h]) for h in pending],
-                    done_offset=done,
-                    total=len(unique),
-                    started=started,
-                )
-            else:
-                executor_tag = "serial"
-                envelope_jsons = {}
-                for spec_hash in pending:
-                    spec = unique[spec_hash]
-                    envelope_jsons[spec_hash] = _execute_envelope_json(
-                        canonical_json(spec.to_dict())
-                    )
-                    done += 1
-                    self._report(spec, spec_hash, done, len(unique), started)
-            for spec_hash, envelope_json in envelope_jsons.items():
+        supervised = self.jobs > 1 or (
+            self.run_timeout is not None and self.run_timeout > 0
+        )
+        progress = {"done": done}
+
+        def complete(
+            spec_hash: str,
+            envelope_json: Optional[str],
+            failure: Optional[Dict[str, Any]],
+            attempts: int,
+            executor_tag: str,
+        ) -> None:
+            """Persist and record one terminal outcome (success or failure)."""
+            spec = unique[spec_hash]
+            if envelope_json is not None:
                 envelope = json.loads(envelope_json)
                 envelope["provenance"]["executor"] = executor_tag
+                if attempts > 1:
+                    envelope["provenance"]["attempts"] = attempts
                 result = RunResult.from_envelope(envelope)
-                results[spec_hash] = result
                 stats.executed += 1
                 if self.cache is not None:
                     self.cache.put(spec_hash, result.to_json().encode("utf-8"))
+                if self.journal is not None:
+                    self.journal.done(spec_hash, cached=False)
+            else:
+                result = RunResult(
+                    spec=spec,
+                    spec_hash=spec_hash,
+                    payload={},
+                    provenance={"executor": executor_tag, "attempts": attempts},
+                    failure=failure,
+                )
+                stats.failed += 1
+                if self.journal is not None:
+                    self.journal.failed(spec_hash, failure or {})
+                if self.obs is not None:
+                    self.obs.metrics.counter("runner_failures_total").inc()
+                    self.obs.events.runner_run_failed(
+                        label=spec.label(),
+                        spec_hash=spec_hash[:12],
+                        failure_kind=(failure or {}).get("kind"),
+                        error_type=(failure or {}).get("error_type"),
+                        message=(failure or {}).get("message"),
+                        attempts=attempts,
+                        exit_signal=(failure or {}).get("signal"),
+                    )
+            results[spec_hash] = result
+            progress["done"] += 1
+            self._report(
+                spec, spec_hash, progress["done"], len(unique), started,
+                failed=result.failure is not None,
+            )
+
+        try:
+            if pending and supervised:
+                self._run_supervised(
+                    [(h, unique[h]) for h in pending], complete
+                )
+            elif pending:
+                self._run_serial([(h, unique[h]) for h in pending], complete)
+        except KeyboardInterrupt:
+            if self.journal is not None:
+                self.journal.interrupted(
+                    completed=stats.cache_hits + stats.executed,
+                    failed=stats.failed,
+                    total=len(unique),
+                )
+            self.stats = stats
+            raise RunInterrupted(
+                completed=stats.cache_hits + stats.executed,
+                failed=stats.failed,
+                total=len(unique),
+                journal_path=self.journal.path if self.journal is not None else None,
+            ) from None
 
         stats.wall_time_s = time.monotonic() - started
         self.stats = stats
         if self.obs is not None:
             self.obs.metrics.gauge("runner_wall_time_seconds").set(stats.wall_time_s)
+
+        failures = [
+            results[spec_hash]
+            for spec_hash in dict.fromkeys(hashes)
+            if results[spec_hash].failure is not None
+        ]
+        ordered = [results[spec_hash] for spec_hash in hashes]
+        if failures and self.on_failure == "raise":
+            first = failures[0]
+            raise RunsFailedError(
+                f"{len(failures)} of {len(unique)} run(s) failed after "
+                f"retries; first: {first.spec.label()} "
+                f"({(first.failure or {}).get('kind', '?')}: "
+                f"{(first.failure or {}).get('message', '?')})",
+                results=ordered,
+                failures=failures,
+            )
+
         # Accumulate instrumentation outputs once per unique run, in
         # first-appearance order (cached results included — their spans are
         # in the payload, so trace exports survive cache hits).
@@ -431,7 +595,7 @@ class Runner:
                 profile = result.provenance.get("profile")
                 if profile is not None:
                     self.profiles.append(profile)
-        return [results[spec_hash] for spec_hash in hashes]
+        return ordered
 
     def profile_summary(self) -> Optional[Dict[str, Any]]:
         """Merge every accumulated per-run engine profile into one summary:
@@ -526,40 +690,108 @@ class Runner:
 
     # -- internals ---------------------------------------------------------
 
-    def _run_pool(
+    def _timeout_for(self, spec: Any) -> Optional[float]:
+        """Effective wall-clock timeout for one spec: explicit value, or a
+        generous default scaled from the spec's expected sim duration;
+        ``run_timeout=0`` disables deadlines entirely."""
+        if self.run_timeout is not None:
+            return self.run_timeout if self.run_timeout > 0 else None
+        return default_run_timeout(spec)
+
+    def _on_retry(
+        self, spec_hash: str, attempt: int, failure: Dict[str, Any],
+        backoff_s: float,
+    ) -> None:
+        self.stats.retried += 1
+        if self.obs is not None:
+            self.obs.metrics.counter("runner_retries_total").inc()
+            self.obs.events.runner_run_retry(
+                spec_hash=spec_hash[:12],
+                attempt=attempt,
+                failure_kind=failure.get("kind"),
+                error_type=failure.get("error_type"),
+                backoff_s=round(backoff_s, 3),
+            )
+        if self.progress is not None:
+            self.progress(
+                f"retry  {spec_hash[:12]} attempt {attempt} failed "
+                f"({failure.get('kind')}: {failure.get('error_type')}); "
+                f"backing off {backoff_s:.1f}s"
+            )
+
+    def _on_cache_corrupt(self, spec_hash: str, reason: str) -> None:
+        if self.obs is not None:
+            self.obs.events.cache_corrupt(
+                spec_hash=spec_hash[:12], reason=reason
+            )
+        if self.progress is not None:
+            self.progress(
+                f"warning: evicted corrupt cache entry {spec_hash[:12]} "
+                f"({reason}); recomputing"
+            )
+
+    def _run_supervised(
         self,
         work: List[Any],
-        *,
-        done_offset: int,
-        total: int,
-        started: float,
-    ) -> Dict[str, str]:
-        """Fan pending specs out over spawn-started worker processes."""
-        pool_kwargs: Dict[str, Any] = {}
-        import multiprocessing
+        complete: Callable[..., None],
+    ) -> None:
+        """Fan pending specs out over supervised worker processes."""
+        supervisor = Supervisor(
+            jobs=self.jobs,
+            retries=self.retries,
+            backoff_base=self.backoff_base,
+            on_retry=self._on_retry,
+        )
 
-        pool_kwargs["mp_context"] = multiprocessing.get_context("spawn")
-        if sys.version_info >= (3, 11):
-            # One run per worker process: full interpreter isolation.
-            pool_kwargs["max_tasks_per_child"] = 1
-        out: Dict[str, str] = {}
-        done = done_offset
-        with ProcessPoolExecutor(max_workers=self.jobs, **pool_kwargs) as pool:
-            futures = {
-                pool.submit(
-                    _execute_envelope_json, canonical_json(spec.to_dict())
-                ): (spec_hash, spec)
+        def on_done(outcome: Any) -> None:
+            complete(
+                outcome.spec_hash,
+                outcome.envelope_json,
+                outcome.failure,
+                outcome.attempts,
+                "supervised",
+            )
+
+        supervisor.run(
+            [
+                (
+                    spec_hash,
+                    canonical_json(spec.to_dict()),
+                    self._timeout_for(spec),
+                )
                 for spec_hash, spec in work
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    spec_hash, spec = futures[future]
-                    out[spec_hash] = future.result()  # re-raises worker errors
-                    done += 1
-                    self._report(spec, spec_hash, done, total, started)
-        return out
+            ],
+            on_done,
+        )
+
+    def _run_serial(
+        self,
+        work: List[Any],
+        complete: Callable[..., None],
+    ) -> None:
+        """In-process execution (no timeouts — nothing can kill a hung run
+        from inside its own thread) with exception-level retry."""
+        for spec_hash, spec in work:
+            attempt = 1
+            while True:
+                try:
+                    envelope_json = _execute_envelope_json(
+                        canonical_json(spec.to_dict())
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    failure = failure_from_exception(exc, attempts=attempt)
+                    if attempt <= self.retries:
+                        backoff = backoff_delay(attempt, base=self.backoff_base)
+                        self._on_retry(spec_hash, attempt, failure, backoff)
+                        time.sleep(backoff)
+                        attempt += 1
+                        continue
+                    complete(spec_hash, None, failure, attempt, "serial")
+                    break
+                complete(spec_hash, envelope_json, None, attempt, "serial")
+                break
 
     def _report(
         self,
@@ -570,6 +802,7 @@ class Runner:
         started: float,
         *,
         cached: bool = False,
+        failed: bool = False,
     ) -> None:
         elapsed = time.monotonic() - started
         eta = (elapsed / done) * (total - done) if done else 0.0
@@ -578,16 +811,17 @@ class Runner:
             if cached:
                 self.obs.metrics.counter("runner_cache_hits_total").inc()
             self.obs.metrics.gauge("runner_eta_seconds").set(eta)
-            self.obs.events.emit(
-                "runner_run_completed",
-                label=spec.label(),
-                spec_hash=spec_hash[:12],
-                cached=cached,
-                done=done,
-                total=total,
-            )
+            if not failed:
+                self.obs.events.emit(
+                    "runner_run_completed",
+                    label=spec.label(),
+                    spec_hash=spec_hash[:12],
+                    cached=cached,
+                    done=done,
+                    total=total,
+                )
         if self.progress is not None:
-            tag = "cache" if cached else "run"
+            tag = "cache" if cached else ("FAIL" if failed else "run")
             self.progress(
                 f"[{done}/{total}] {tag:<5} {spec.label()} "
                 f"({elapsed:.1f}s elapsed, eta {eta:.0f}s)"

@@ -302,6 +302,14 @@ class RunSpec:
             }
         )
 
+    def expected_sim_duration(self) -> float:
+        """Rough expected simulated seconds for this run, used to scale the
+        default per-run wall-clock timeout (see
+        :func:`repro.runner.supervisor.default_run_timeout`).  The arrival
+        process dominates: ``total_tasks * mean_interarrival`` plus slack
+        for the tail of in-flight tasks to drain."""
+        return self.total_tasks * self.mean_interarrival + 30.0
+
     def label(self) -> str:
         """Short human label for progress lines."""
         return f"{self.policy}/{self.size_class} seed={self.seed}"
@@ -377,6 +385,10 @@ class CalibrationSpec:
 
     def pairing_key(self) -> str:
         return self.content_hash()
+
+    def expected_sim_duration(self) -> float:
+        """Calibration runs simulate exactly ``duration`` seconds."""
+        return self.duration
 
     def label(self) -> str:
         return f"calibration u={self.utilization:g} seed={self.seed}"

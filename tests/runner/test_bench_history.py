@@ -68,14 +68,28 @@ class TestHistoryLedger:
         assert [r["serial_s"] for r in records] == [10.0, 8.0]
         assert all("provenance" in r for r in records)
 
-    def test_read_rejects_malformed_lines(self, tmp_path):
+    def test_read_skips_malformed_lines_with_warning(self, tmp_path):
+        # A torn append (writer killed mid-line) costs that record only:
+        # skip-and-warn, never an unreadable ledger.
         path = tmp_path / "hist.jsonl"
         path.write_text('{"ok": 1}\nnot json\n')
-        with pytest.raises(ExperimentError, match="malformed"):
-            read_history(str(path))
-        path.write_text('[1, 2]\n')
-        with pytest.raises(ExperimentError, match="not an object"):
-            read_history(str(path))
+        warnings = []
+        records = read_history(str(path), on_warning=warnings.append)
+        assert records == [{"ok": 1}]
+        assert len(warnings) == 1 and "malformed" in warnings[0]
+        path.write_text('[1, 2]\n{"ok": 2}\n')
+        warnings.clear()
+        records = read_history(str(path), on_warning=warnings.append)
+        assert records == [{"ok": 2}]
+        assert len(warnings) == 1 and "not an object" in warnings[0]
+
+    def test_torn_final_append_keeps_earlier_records(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        append_history(_report(10.0), str(path))
+        with open(path, "a") as fh:
+            fh.write('{"serial_s": 8.0, "trunca')  # killed mid-write
+        records = read_history(str(path), on_warning=lambda _m: None)
+        assert [r["serial_s"] for r in records] == [10.0]
 
     def test_read_skips_blank_lines(self, tmp_path):
         path = tmp_path / "hist.jsonl"

@@ -83,3 +83,92 @@ class TestCacheIntegrity:
         cache.put(h, _envelope_bytes(h))
         with open(cache.path(h)) as fh:
             assert json.load(fh)["spec_hash"] == h
+
+
+class TestCrashSafety:
+    """Checksum sidecars: byte flips and truncation are caught, evicted with
+    a warning, and reported as misses so the run recomputes."""
+
+    def test_put_writes_checksum_sidecar(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        h = "a" * 64
+        cache.put(h, _envelope_bytes(h))
+        with open(cache.sidecar_path(h)) as fh:
+            digest = fh.read().strip()
+        import hashlib
+
+        assert digest == hashlib.sha256(_envelope_bytes(h)).hexdigest()
+
+    def test_byte_flip_evicted_with_warning(self, tmp_path):
+        # The flipped entry is still valid JSON naming the right hash — only
+        # the checksum can catch it.
+        corrupt = []
+        cache = ResultCache(
+            str(tmp_path), on_corrupt=lambda h, r: corrupt.append((h, r))
+        )
+        h = "b" * 64
+        cache.put(h, _envelope_bytes(h, {"x": 1}))
+        flipped = _envelope_bytes(h, {"x": 2})
+        with open(cache.path(h), "wb") as fh:
+            fh.write(flipped)
+        assert cache.get(h) is None
+        assert cache.evictions == 1
+        assert len(corrupt) == 1 and corrupt[0][0] == h
+        assert "checksum" in corrupt[0][1]
+        # Evicted: entry and sidecar both gone, next put works cleanly.
+        assert not os.path.exists(cache.path(h))
+        assert not os.path.exists(cache.sidecar_path(h))
+        cache.put(h, _envelope_bytes(h, {"x": 3}))
+        assert cache.get(h) == _envelope_bytes(h, {"x": 3})
+
+    def test_truncated_entry_evicted(self, tmp_path):
+        corrupt = []
+        cache = ResultCache(
+            str(tmp_path), on_corrupt=lambda h, r: corrupt.append((h, r))
+        )
+        h = "c" * 64
+        cache.put(h, _envelope_bytes(h))
+        data = _envelope_bytes(h)
+        with open(cache.path(h), "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        assert cache.get(h) is None
+        assert cache.evictions == 1 and len(corrupt) == 1
+
+    def test_legacy_entry_without_sidecar_still_served(self, tmp_path):
+        # Entries written before checksums existed fall back to the
+        # structural (JSON + spec_hash) validation.
+        cache = ResultCache(str(tmp_path))
+        h = "d" * 64
+        cache.put(h, _envelope_bytes(h))
+        os.unlink(cache.sidecar_path(h))
+        assert cache.get(h) == _envelope_bytes(h)
+
+    def test_misfiled_entry_not_evicted(self, tmp_path):
+        # Intact bytes under the wrong name: a miss, not corruption.
+        cache = ResultCache(str(tmp_path))
+        wrong = "e" * 64
+        cache.put(wrong, _envelope_bytes("f" * 64))
+        assert cache.get(wrong) is None
+        assert cache.evictions == 0
+        assert os.path.exists(cache.path(wrong))
+
+    def test_verify_scans_and_evicts(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        good, bad, legacy = "1" * 64, "2" * 64, "3" * 64
+        for h in (good, bad, legacy):
+            cache.put(h, _envelope_bytes(h))
+        with open(cache.path(bad), "wb") as fh:
+            fh.write(_envelope_bytes(bad, {"x": 99}))  # flip past the sidecar
+        os.unlink(cache.sidecar_path(legacy))
+        report = cache.verify()
+        assert report["checked"] == 3
+        assert [h for h, _ in report["evicted"]] == [bad]
+        assert report["unverified"] == [legacy]
+        assert cache.get(good) is not None
+
+    def test_clear_removes_sidecars(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        h = "4" * 64
+        cache.put(h, _envelope_bytes(h))
+        assert cache.clear() == 1
+        assert os.listdir(str(tmp_path)) == []
