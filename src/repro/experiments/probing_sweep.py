@@ -65,7 +65,7 @@ def run_probing_sweep(
     scenario: str,
     *,
     intervals: Sequence[float] = DEFAULT_INTERVALS,
-    base_config: ExperimentConfig = None,
+    base_config: Optional[ExperimentConfig] = None,
     seed: Optional[int] = None,
     runner=None,
 ) -> ProbingSweepResult:

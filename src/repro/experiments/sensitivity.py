@@ -11,7 +11,7 @@ congestion fixed via the usual paired-seed machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.edge.task import SizeClass
 from repro.errors import ExperimentError
@@ -32,7 +32,7 @@ class SensitivityResult:
 
     parameter: str
     base_config: ExperimentConfig
-    nearest: ExperimentResult = None
+    nearest: Optional[ExperimentResult] = None
     runs: Dict[float, ExperimentResult] = field(default_factory=dict)
 
     def gain_percent(self, value: float, measure: str = "completion") -> float:
@@ -99,7 +99,7 @@ def _sweep(
 def sweep_k(
     values: Sequence[float] = (0.0, 0.005, 0.020, 0.080),
     *,
-    base_config: ExperimentConfig = None,
+    base_config: Optional[ExperimentConfig] = None,
     seed: int = 0,
     runner=None,
 ) -> SensitivityResult:
@@ -119,7 +119,7 @@ def sweep_probing_parameter(
     parameter: str,
     values: Sequence[float],
     *,
-    base_config: ExperimentConfig = None,
+    base_config: Optional[ExperimentConfig] = None,
     seed: int = 0,
     runner=None,
 ) -> SensitivityResult:

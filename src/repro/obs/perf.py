@@ -353,6 +353,20 @@ def _record_label(record: Dict[str, Any], idx: int) -> str:
     return f"#{idx} {ts} @{commit}"
 
 
+def _alloc_blocks(record: Dict[str, Any]) -> Optional[int]:
+    """A record's net allocated-blocks delta (gc accounting captured by
+    MemoryCapture and merged into the profile), or None when the record
+    predates memory capture."""
+    memory = (record.get("profile") or {}).get("memory") or {}
+    value = memory.get("allocated_blocks_delta")
+    return int(value) if isinstance(value, (int, float)) else None
+
+
+def _events_total(record: Dict[str, Any]) -> Optional[int]:
+    value = (record.get("profile") or {}).get("events_total")
+    return int(value) if isinstance(value, (int, float)) else None
+
+
 def _phase_walls(record: Dict[str, Any]) -> Dict[str, float]:
     profile = record.get("profile") or {}
     out = {
@@ -417,6 +431,36 @@ def render_perf_report(
             f"  {metric:<18} {v_first:>9.3f} {v_last:>9.3f} "
             f"{delta_pct:>+7.1f}%  {sparkline(values)}{marker}"
         )
+    # Allocation trend: the zero-allocation claim, measurable in the ledger.
+    # Net allocated-blocks delta per run plus the per-event rate (events are
+    # deterministic, so the rate is comparable across hosts and commits).
+    alloc_values: List[Optional[float]] = [
+        float(v) if (v := _alloc_blocks(r)) is not None else None
+        for r in records
+    ]
+    alloc_numeric = [v for v in alloc_values if v is not None]
+    if alloc_numeric:
+        v_first, v_last = alloc_numeric[0], alloc_numeric[-1]
+        delta_pct = ((v_last - v_first) / v_first * 100.0) if v_first else 0.0
+        marker = ""
+        if abs(delta_pct) >= 1.0:
+            marker = " (better)" if delta_pct < 0 else " (worse)"
+        lines.append(
+            f"  {'alloc_blocks_delta':<18} {v_first:>9.0f} {v_last:>9.0f} "
+            f"{delta_pct:>+7.1f}%  {sparkline(alloc_values)}{marker}"
+        )
+        per_event: List[Optional[float]] = []
+        for record, blocks in zip(records, alloc_values):
+            events = _events_total(record)
+            per_event.append(
+                blocks / events if blocks is not None and events else None
+            )
+        pe_numeric = [v for v in per_event if v is not None]
+        if pe_numeric:
+            lines.append(
+                f"  {'alloc_blocks/event':<18} {pe_numeric[0]:>9.4f} "
+                f"{pe_numeric[-1]:>9.4f} {'':>8}  {sparkline(per_event)}"
+            )
     if invalid:
         lines.append(
             f"  note: parallel timings from {invalid} record(s) with "
@@ -449,4 +493,15 @@ def render_perf_report(
             base = a.get(path, 0.0)
             pct = f" ({delta / base * 100.0:+.1f}%)" if base else " (new)"
             lines.append(f"    {delta * 1e3:>+10.1f} ms  {path}{pct}")
+        # Allocation before/after for the same pair of records.
+        blocks_a, blocks_b = _alloc_blocks(records[i]), _alloc_blocks(records[j])
+        if blocks_a is not None and blocks_b is not None:
+            ev_a, ev_b = _events_total(records[i]), _events_total(records[j])
+            rate_a = f"{blocks_a / ev_a:.4f}/event" if ev_a else "-"
+            rate_b = f"{blocks_b / ev_b:.4f}/event" if ev_b else "-"
+            lines.append("")
+            lines.append(
+                f"  allocated blocks (record {i} -> {j}): "
+                f"{blocks_a} ({rate_a}) -> {blocks_b} ({rate_b})"
+            )
     return "\n".join(lines)

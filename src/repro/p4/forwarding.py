@@ -44,3 +44,46 @@ class PlainForwardingProgram(P4Program):
     # Control-plane helper used by the routing module.
     def install_route(self, dst_addr: int, port_index: int) -> None:
         self.forward_table.set_entry(dst_addr, "forward", port=port_index)
+
+    # -- fast path ----------------------------------------------------------
+
+    def _compile_ingress(self):
+        """The forwarding decision as one closure: TTL check + exact-match
+        lookup with the table's own hit/miss counters, no context object.
+        Captures the table's entry dict by reference, so control-plane
+        ``set_entry`` updates are visible immediately."""
+        table = self.forward_table
+        entries = table._entries
+
+        def fast_ingress(packet) -> int:
+            if packet.ttl <= 1:
+                return -1
+            entry = entries.get(packet.dst_addr)
+            if entry is None:
+                table.misses += 1
+                entry = table.default_action
+            else:
+                table.hits += 1
+            if entry[0] == "forward":
+                packet.ttl -= 1
+                return entry[1]["port"]
+            return -1
+
+        return fast_ingress
+
+    def compile(self):
+        cls = type(self)
+        if (
+            cls.process_ingress is not P4Program.process_ingress
+            or cls.process_egress is not P4Program.process_egress
+            or cls.parse is not P4Program.parse
+            or cls.ingress is not PlainForwardingProgram.ingress
+            or cls.egress is not P4Program.egress
+            or cls.deparse is not P4Program.deparse
+        ):
+            return None
+
+        def fast_egress(packet, port_index: int, enq_depth: int) -> None:
+            return None  # plain forwarding has an empty egress stage
+
+        return self._compile_ingress(), fast_egress

@@ -48,6 +48,7 @@ __all__ = [
     "encode_probe_header",
     "encode_hop_record",
     "append_hop_record",
+    "append_hop_fields",
     "decode_probe_payload",
 ]
 
@@ -122,6 +123,33 @@ def _parse_header(payload: bytes) -> Tuple[int, int]:
 def append_hop_record(payload: bytes, record: IntHopRecord) -> bytes:
     """Return ``payload`` with ``record`` appended and hop_count incremented —
     what the INT program's deparser emits at each switch."""
+    return append_hop_fields(
+        payload,
+        record.switch_id,
+        record.egress_port,
+        record.max_qdepth,
+        record.link_latency,
+        record.egress_ts,
+    )
+
+
+def append_hop_fields(
+    payload: bytes,
+    switch_id: int,
+    egress_port: int,
+    max_qdepth: int,
+    link_latency: Optional[float],
+    egress_ts: float,
+) -> bytes:
+    """Field-level twin of :func:`append_hop_record` for the per-probe hot
+    path: identical bytes out (same clamps, same range checks), without
+    constructing the frozen :class:`IntHopRecord` in between."""
+    if not 0 <= switch_id <= _MAX_SWITCH_ID:
+        raise PacketError(f"switch_id {switch_id} out of range")
+    if not 0 <= egress_port <= _MAX_PORT:
+        raise PacketError(f"egress_port {egress_port} out of range")
+    if max_qdepth < 0:
+        raise PacketError(f"max_qdepth {max_qdepth} negative")
     _, hop_count = _parse_header(payload)
     if hop_count >= 0xFF:
         raise PacketError("INT stack full (255 hops)")
@@ -130,8 +158,23 @@ def append_hop_record(payload: bytes, record: IntHopRecord) -> bytes:
         raise PacketError(
             f"probe payload length {len(payload)} inconsistent with hop_count={hop_count}"
         )
-    new_header = encode_probe_header(hop_count + 1)
-    return new_header + payload[PROBE_HEADER_SIZE:] + encode_hop_record(record)
+    if link_latency is None:
+        latency_us = NO_LATENCY
+    else:
+        latency_us = int(round(link_latency * 1e6))
+        latency_us = max(_I32_MIN, min(_I32_MAX, latency_us))
+    return (
+        struct.pack(_HEADER_FMT, PROBE_MAGIC, PROBE_VERSION, hop_count + 1)
+        + payload[PROBE_HEADER_SIZE:]
+        + struct.pack(
+            _RECORD_FMT,
+            switch_id,
+            egress_port,
+            min(max_qdepth, _MAX_QDEPTH),
+            latency_us,
+            int(round(egress_ts * 1e6)),
+        )
+    )
 
 
 def decode_probe_payload(payload: bytes) -> List[IntHopRecord]:

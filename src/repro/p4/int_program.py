@@ -25,8 +25,8 @@ from __future__ import annotations
 
 from repro.errors import DataPlaneError, PacketError
 from repro.p4.forwarding import PlainForwardingProgram
-from repro.p4.headers import IntHopRecord, append_hop_record
-from repro.p4.pipeline import PipelineContext
+from repro.p4.headers import append_hop_fields
+from repro.p4.pipeline import P4Program, PipelineContext
 
 __all__ = ["IntTelemetryProgram", "MAX_QDEPTH_REGISTER"]
 
@@ -72,6 +72,39 @@ class IntTelemetryProgram(PlainForwardingProgram):
                 prof.phase_end()
         super().ingress(ctx)
 
+    # -- fast path -------------------------------------------------------------
+
+    def compile(self):
+        """Data packets only: ingress is plain routing (the ``int_stamp``
+        latency measurement is probe-only) and egress is the per-port
+        max-depth register fold.  Both are emitted as context-free closures;
+        probes keep the staged oracle path."""
+        cls = type(self)
+        if (
+            cls.process_ingress is not P4Program.process_ingress
+            or cls.process_egress is not P4Program.process_egress
+            or cls.parse is not IntTelemetryProgram.parse
+            or cls.ingress is not IntTelemetryProgram.ingress
+            or cls.egress is not IntTelemetryProgram.egress
+            or cls.deparse is not P4Program.deparse
+        ):
+            return None
+        if self._qdepth_reg is None:
+            raise DataPlaneError("INT program compiled before bind()")
+        reg = self._qdepth_reg
+        values = reg._values  # reset() wipes in place, so identity is stable
+
+        def fast_egress(packet, port_index: int, enq_depth: int) -> None:
+            # Mirrors the staged egress for a data packet exactly:
+            # data_packets_observed += 1 and reg.max_update(port, enq_depth),
+            # counter semantics included.
+            self.data_packets_observed += 1
+            reg.writes += 1
+            if enq_depth > values[port_index]:
+                values[port_index] = enq_depth
+
+        return self._compile_ingress(), fast_egress
+
     # -- egress ---------------------------------------------------------------
 
     def egress(self, ctx: PipelineContext) -> None:
@@ -87,22 +120,25 @@ class IntTelemetryProgram(PlainForwardingProgram):
             return
 
         # Probe: collect-and-reset the register, append the hop record.
+        # Field-level append (append_hop_fields): identical bytes to the
+        # IntHopRecord/append_hop_record pair without the per-hop frozen-
+        # dataclass construction.
         self.probes_processed += 1
         qdepth = self._qdepth_reg.read_and_reset(port)
         egress_ts = self.switch.clock.read()
-        record = IntHopRecord(
-            switch_id=self.switch.switch_id,
-            egress_port=port,
-            max_qdepth=qdepth,
-            link_latency=packet.int_link_latency,
-            egress_ts=egress_ts,
-        )
         if packet.payload is None:
             raise DataPlaneError(
                 f"probe packet #{packet.packet_id} has no payload to extend"
             )
         try:
-            new_payload = append_hop_record(packet.payload, record)
+            new_payload = append_hop_fields(
+                packet.payload,
+                self.switch.switch_id,
+                port,
+                qdepth,
+                packet.int_link_latency,
+                egress_ts,
+            )
         except PacketError:
             # Probe-flagged packet with an undecodable payload (corruption
             # or spoofing).  A hardware pipeline would forward it untouched;

@@ -102,6 +102,29 @@ class P4Program:
     def on_bind(self) -> None:
         """Hook for programs that size resources from switch port count."""
 
+    def compile(self):
+        """Fold the pipeline into precompiled per-packet-class closures.
+
+        Returns ``(fast_ingress, fast_egress)`` or ``None``.  The closures
+        cover the common **data packet** (non-probe) hop with zero
+        :class:`PipelineContext` allocations:
+
+        * ``fast_ingress(packet) -> int`` — parser + ingress control folded
+          together; returns the egress port index or ``-1`` for drop.
+        * ``fast_egress(packet, port_index, enq_depth) -> None`` — parser +
+          egress + deparser folded together.
+
+        Implementations must preserve every externally observable effect of
+        the staged path (table hit/miss counters, register write counters,
+        packet mutations) and must return ``None`` whenever any stage has
+        been overridden by a subclass they do not know about — the staged
+        context path then remains the oracle.  Probes and other exotic
+        packet classes always take the staged path.
+
+        The base program has no ingress control, so it has no fast path.
+        """
+        return None
+
     # -- stages (override in subclasses) -------------------------------------
 
     def parse(self, ctx: PipelineContext) -> None:

@@ -72,8 +72,10 @@ class RegisterArray:
     def reset(self) -> None:
         """Restore every register to its initial value — the whole-array
         wipe a target performs on reboot (used by fault injection's
-        ``register_wipe``).  Counted separately from per-index writes."""
-        self._values = [self.initial] * self.size
+        ``register_wipe``).  Counted separately from per-index writes.
+        Resets in place: compiled fast-path closures capture the backing
+        list, so its identity must survive a wipe."""
+        self._values[:] = [self.initial] * self.size
         self.resets += 1
 
     def snapshot(self) -> List[int]:

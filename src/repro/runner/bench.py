@@ -48,6 +48,7 @@ __all__ = [
     "read_history",
     "rolling_baseline",
     "DEFAULT_MAX_REGRESSION",
+    "PROFILE_GATE_MAX_REGRESSION",
     "DEFAULT_HISTORY_PATH",
     "DEFAULT_HISTORY_WINDOW",
 ]
@@ -60,6 +61,14 @@ DEFAULT_MAX_REGRESSION = 0.5
 
 # The wall-clock metrics a bench report carries, in report order.
 _TIMING_METRICS = ("serial_s", "parallel_s", "cached_s")
+
+# Hot-path handlers gated by profile wall-time when both reports carry an
+# engine profile.  These two dominate the per-packet path; the fast-path
+# refactor bought its speedup here, and the tighter default threshold
+# (20% vs the generous timing default) keeps it from quietly eroding.
+# Override per handler with ``--threshold "profile:Switch.on_ingress=0.5"``.
+_PROFILE_GATE_HANDLERS = ("Switch.on_ingress", "Port._tx_complete")
+PROFILE_GATE_MAX_REGRESSION = 0.2
 
 # Default bench-history ledger path (relative to the repo root / cwd) and
 # the number of most-recent records the rolling baseline is computed over.
@@ -361,6 +370,31 @@ def rolling_baseline(
             baseline[metric] = values[mid]
         else:
             baseline[metric] = round((values[mid - 1] + values[mid]) / 2.0, 3)
+    # Median per gated hot-path handler over the records that profiled it,
+    # so the profile gate works against a rolling baseline too.
+    by_type: Dict[str, Any] = {}
+    for handler in _PROFILE_GATE_HANDLERS:
+        walls = sorted(
+            wall
+            for r in tail
+            for wall in [
+                dict(
+                    dict((r.get("profile") or {}).get("by_type") or {}).get(handler)
+                    or {}
+                ).get("wall_s")
+            ]
+            if isinstance(wall, (int, float))
+        )
+        if walls:
+            mid = len(walls) // 2
+            median = (
+                walls[mid]
+                if len(walls) % 2
+                else round((walls[mid - 1] + walls[mid]) / 2.0, 6)
+            )
+            by_type[handler] = {"wall_s": median}
+    if by_type:
+        baseline["profile"] = {"by_type": by_type}
     return baseline
 
 
@@ -424,6 +458,43 @@ def compare_bench(
         elif not isinstance(base_v, (int, float)) or not isinstance(
             cand_v, (int, float)
         ) or base_v <= 0:
+            row["status"] = "skipped"
+            row["ratio"] = None
+        else:
+            ratio = cand_v / base_v
+            row["ratio"] = round(ratio, 3)
+            if ratio > 1.0 + threshold:
+                row["status"] = "regression"
+                failures.append(
+                    f"{metric}: {cand_v:.3f}s vs baseline {base_v:.3f}s "
+                    f"({ratio:.2f}x > {1.0 + threshold:.2f}x allowed)"
+                )
+            else:
+                row["status"] = "ok"
+        rows.append(row)
+
+    # Profile-handler gate: when both reports carry an engine profile, the
+    # hot-path handlers' wall time is held to a tighter bar than the coarse
+    # timing metrics.  Skipped (never failed) when either profile is absent
+    # so profile-less reports keep comparing as before.
+    base_types = dict((baseline.get("profile") or {}).get("by_type") or {})
+    cand_types = dict((candidate.get("profile") or {}).get("by_type") or {})
+    for handler in _PROFILE_GATE_HANDLERS:
+        metric = f"profile:{handler}"
+        threshold = float(thresholds.get(metric, PROFILE_GATE_MAX_REGRESSION))
+        base_v = dict(base_types.get(handler) or {}).get("wall_s")
+        cand_v = dict(cand_types.get(handler) or {}).get("wall_s")
+        row = {
+            "metric": metric,
+            "baseline": round(base_v, 3) if isinstance(base_v, (int, float)) else None,
+            "candidate": round(cand_v, 3) if isinstance(cand_v, (int, float)) else None,
+            "threshold": threshold,
+        }
+        if (
+            not isinstance(base_v, (int, float))
+            or not isinstance(cand_v, (int, float))
+            or base_v <= 0
+        ):
             row["status"] = "skipped"
             row["ratio"] = None
         else:

@@ -30,9 +30,13 @@ __all__ = [
 
 _perf_counter = _walltime.perf_counter
 
-# Heap entries are plain (time, seq, handle) tuples: tuple comparison runs in
-# C and the seq tiebreaker guarantees the handle is never compared.
-_HeapEntry = Tuple[float, int, "EventHandle"]
+# Heap entries are plain (time, seq, handle, fn, args) tuples: tuple
+# comparison runs in C and the seq tiebreaker guarantees the later fields are
+# never compared.  The callback and its arguments live in the tuple itself so
+# the hot loop never touches handle attributes — and fire-and-forget events
+# posted via :meth:`Simulator.post` carry ``None`` in the handle slot,
+# skipping the ``EventHandle`` allocation entirely.
+_HeapEntry = Tuple[float, int, Optional["EventHandle"], Callable[..., Any], tuple]
 
 
 class EventHandle:
@@ -406,6 +410,13 @@ class Simulator:
         self._seq: int = 0
         self._running = False
         self._stop_requested = False
+        # Live (scheduled, not yet fired or cancelled) event count — kept
+        # exact on every push / fire / cancel so pending_events() is O(1).
+        self._live: int = 0
+        # Cancelled entries still sitting in the heap.  Lazy cancellation
+        # leaves tombstones until popped; when they outnumber the live
+        # entries the heap is compacted in one O(n) rebuild.
+        self._tombstones: int = 0
         self.events_executed: int = 0
         self.events_cancelled: int = 0
         # Observability hub (repro.obs.Observability) or None when disabled.
@@ -443,7 +454,59 @@ class Simulator:
             )
         handle = EventHandle(time, fn, args)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle))
+        self._live += 1
+        heapq.heappush(self._heap, (time, self._seq, handle, fn, args))
+        return handle
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` ``delay`` seconds from now, fire-and-forget.
+
+        The hot-path twin of :meth:`schedule`: no :class:`EventHandle` is
+        allocated, so the event cannot be cancelled.  Per-packet machinery
+        (NIC transmit completions, link propagation) never cancels its
+        events, which makes this the zero-allocation scheduling path —
+        one heap tuple per event and nothing else.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.9f}s in the past")
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, None, fn, args))
+
+    def post_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`post`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.9f} before now={self._now:.9f}"
+            )
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, self._seq, None, fn, args))
+
+    def reschedule(self, handle: EventHandle, delay: float) -> EventHandle:
+        """Re-arm a handle that has already fired, reusing the object.
+
+        This is the event-pool path for self-rescheduling machinery
+        (periodic timers, CBR sources): the owner's own handle is its
+        free-list of one.  Only a *fired* handle may be reused — a cancelled
+        handle still has a tombstone entry in the heap, and resurrecting it
+        would alias the new event with the stale entry (the tombstone would
+        fire it early).  The guards below make that aliasing impossible.
+        """
+        if handle.cancelled:
+            raise SimulationError("cannot reschedule a cancelled handle")
+        if not handle.fired:
+            raise SimulationError(
+                "cannot reschedule a pending handle (cancel it and schedule anew)"
+            )
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay:.9f}s in the past")
+        time = self._now + delay
+        handle.time = time
+        handle.fired = False
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, (time, self._seq, handle, handle.fn, handle.args))
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
@@ -456,19 +519,45 @@ class Simulator:
             raise SimulationError("event already cancelled")
         handle.cancelled = True
         self.events_cancelled += 1
+        self._live -= 1
+        self._tombstones += 1
+        # Compact once tombstones dominate: routing/fault churn can cancel
+        # far more events than the run ever pops, and each tombstone costs a
+        # log(n) discard later.  One O(n) rebuild amortises to O(1) per
+        # cancel and keeps the heap near its live size.
+        if self._tombstones > 64 and self._tombstones * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries from the heap in one rebuild.
+
+        Compacts *in place* (slice assignment, not rebinding): the run loops
+        hold a local alias to the heap list, and a cancel fired from inside a
+        handler must compact the list that alias points at.
+        """
+        live = [
+            entry for entry in self._heap
+            if entry[2] is None or not entry[2].cancelled
+        ]
+        self._heap[:] = live
+        heapq.heapify(self._heap)
+        self._tombstones = 0
 
     # -- execution --------------------------------------------------------
 
     def step(self) -> bool:
         """Run the single next event.  Returns False when the queue is empty."""
         while self._heap:
-            time, _seq, handle = heapq.heappop(self._heap)
-            if handle.cancelled:
-                continue
+            time, _seq, handle, fn, args = heapq.heappop(self._heap)
+            if handle is not None:
+                if handle.cancelled:
+                    self._tombstones -= 1
+                    continue
+                handle.fired = True
             self._now = time
-            handle.fired = True
+            self._live -= 1
             self.events_executed += 1
-            handle.fn(*handle.args)
+            fn(*args)
             return True
         return False
 
@@ -491,16 +580,23 @@ class Simulator:
             if self.profiler is not None:
                 executed = self._run_profiled(until, max_events)
             else:
+                # Hot loop: everything it touches per event is a local or a
+                # tuple field.  Counters are reconciled in the finally block
+                # so the loop body does no instance-attribute stores beyond
+                # the clock.
                 while heap and not self._stop_requested:
                     if until is not None and heap[0][0] > until:
                         break
-                    time, _seq, handle = pop(heap)
-                    if handle.cancelled:
-                        continue
+                    time, _seq, handle, fn, args = pop(heap)
+                    if handle is not None:
+                        if handle.cancelled:
+                            self._tombstones -= 1
+                            continue
+                        handle.fired = True
                     self._now = time
-                    handle.fired = True
+                    self._live -= 1
                     self.events_executed += 1
-                    handle.fn(*handle.args)
+                    fn(*args)
                     executed += 1
                     if max_events is not None and executed >= max_events:
                         break
@@ -514,7 +610,8 @@ class Simulator:
             # exactly as the queue drains may still jump, while a budget
             # exhausted with work pending must not skip over it.
             if not any(
-                t <= until and not h.cancelled for t, _s, h in self._heap
+                t <= until and (h is None or not h.cancelled)
+                for t, _s, h, _f, _a in self._heap
             ):
                 self._now = until
 
@@ -538,18 +635,20 @@ class Simulator:
                 depth = len(heap)
                 if depth > profiler.queue_high_water:
                     profiler.queue_high_water = depth
-                time, _seq, handle = pop(heap)
-                if handle.cancelled:
-                    continue
+                time, _seq, handle, fn, args = pop(heap)
+                if handle is not None:
+                    if handle.cancelled:
+                        self._tombstones -= 1
+                        continue
+                    handle.fired = True
                 self._now = time
-                handle.fired = True
+                self._live -= 1
                 self.events_executed += 1
-                fn = handle.fn
                 name = getattr(fn, "__qualname__", None) or repr(fn)
                 profiler._path = name
                 t0 = clock()
                 profiler._t0 = t0
-                fn(*handle.args)
+                fn(*args)
                 elapsed = clock() - t0
                 if profiler._stack:
                     profiler._exit_event()
@@ -573,8 +672,9 @@ class Simulator:
         self._stop_requested = True
 
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for _t, _s, h in self._heap if not h.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1): the
+        count is maintained on every schedule / post / fire / cancel."""
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -634,7 +734,16 @@ class PeriodicTimer:
         delay = self.period
         if self._jitter_fn is not None:
             delay = max(0.0, delay + self._jitter_fn())
-        self._handle = self._sim.schedule(delay, self._fire)
+        handle = self._handle
+        if handle is not None and handle.fired and not handle.cancelled:
+            # Self-rescheduling fast path: re-arm the handle that just fired
+            # us instead of allocating a fresh handle + bound method per
+            # period (48K+ fires in a big run).  The guard falls back to a
+            # fresh schedule when _fire was invoked out-of-band (tests
+            # driving the callback directly).
+            self._sim.reschedule(handle, delay)
+        else:
+            self._handle = self._sim.schedule(delay, self._fire)
         prof = self._sim.profiler
         if prof is None:
             self._fn(*self._args)

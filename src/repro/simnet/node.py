@@ -42,13 +42,28 @@ class Clock:
         self.offset = offset
         self.jitter_std = jitter_std
         self._rng = rng
+        # Prefetched noise samples.  The clock's stream is dedicated
+        # (Network wires `clock/{name}`), so block refills consume the
+        # exact same value sequence as per-read scalar draws.
+        self._noise_buf: List[float] = []
+        self._noise_idx: int = 0
 
     def read(self) -> float:
         """Local time: true time + offset + one sample of reading noise."""
         t = self._sim.now + self.offset
         if self.jitter_std > 0:
-            assert self._rng is not None
-            t += float(self._rng.normal(0.0, self.jitter_std))
+            # Scalar numpy draws cost ~10x an amortised block draw; values
+            # (and the stream state left behind) are bit-identical.
+            i = self._noise_idx
+            buf = self._noise_buf
+            if i >= len(buf):
+                assert self._rng is not None
+                buf = self._noise_buf = self._rng.normal(
+                    0.0, self.jitter_std, 256
+                ).tolist()
+                i = 0
+            self._noise_idx = i + 1
+            t += buf[i]
         return t
 
 
@@ -74,19 +89,36 @@ class Node:
         # Network builder; hosts stay deterministic.
         self.service_jitter: float = 0.0
         self._service_rng: Optional[np.random.Generator] = None
+        # Prefetched uniform draws (see service_time_factor).  The node's
+        # service stream is dedicated (Network wires `service/{name}`), so
+        # refilling in blocks consumes the exact same value sequence as
+        # per-call scalar draws — generator state advances identically.
+        self._service_buf: List[float] = []
+        self._service_idx: int = 0
 
     def set_service_jitter(self, jitter: float, rng: np.random.Generator) -> None:
         if not 0.0 <= jitter < 1.0:
             raise ValueError(f"service jitter must be in [0, 1), got {jitter}")
         self.service_jitter = jitter
         self._service_rng = rng
+        self._service_buf = []
+        self._service_idx = 0
 
     def service_time_factor(self) -> float:
         """Multiplier applied to one packet's transmission time."""
         if self.service_jitter <= 0.0:
             return 1.0
-        assert self._service_rng is not None
-        return 1.0 + self.service_jitter * (2.0 * float(self._service_rng.random()) - 1.0)
+        # Scalar numpy draws cost ~10x an amortised block draw; refill a
+        # block at a time and hand out Python floats.  Values (and the
+        # stream state left behind) are bit-identical to scalar draws.
+        i = self._service_idx
+        buf = self._service_buf
+        if i >= len(buf):
+            assert self._service_rng is not None
+            buf = self._service_buf = self._service_rng.random(512).tolist()
+            i = 0
+        self._service_idx = i + 1
+        return 1.0 + self.service_jitter * (2.0 * buf[i] - 1.0)
 
     # -- wiring -----------------------------------------------------------
 

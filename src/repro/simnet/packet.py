@@ -77,6 +77,7 @@ class Packet:
         "seq",
         "created_at",
         "hop_count",
+        "enq_depth",
         "last_egress_ts",
         "int_link_latency",
         "int_stack",
@@ -123,6 +124,11 @@ class Packet:
         self.seq = seq
         self.created_at = created_at
         self.hop_count = 0
+        # Queue depth observed at the most recent enqueue (BMv2's
+        # ``enq_qdepth``).  Written by DropTailQueue.push so queue entries
+        # can be bare packets instead of (packet, depth) pairs; a packet
+        # occupies at most one queue at a time, so one slot suffices.
+        self.enq_depth = 0
         # Egress timestamp written by the previous switch (INT link-latency
         # measurement, Section III-A).  ``None`` until the first P4 egress.
         self.last_egress_ts: Optional[float] = None
@@ -134,6 +140,34 @@ class Packet:
         # the hop-record stack riding this data packet.  None for everything
         # else — probes carry their stack in the byte payload instead.
         self.int_stack = None
+
+    def copy_patch(self, seq: int, created_at: float) -> "Packet":
+        """Copy-and-patch emission from a per-flow template: straight-line
+        slot copies, a fresh packet id, and reset per-hop bookkeeping —
+        no keyword processing and no re-validation (the template was
+        validated once at construction).  This is the hot constructor for
+        fixed-shape sources (CBR flows emit 100K+ identical frames)."""
+        p = Packet.__new__(Packet)
+        p.packet_id = next(_packet_ids)
+        p.src_addr = self.src_addr
+        p.dst_addr = self.dst_addr
+        p.protocol = self.protocol
+        p.src_port = self.src_port
+        p.dst_port = self.dst_port
+        p.size_bytes = self.size_bytes
+        p.payload = self.payload
+        p.message = self.message
+        p.flags = self.flags
+        p.ttl = self.ttl
+        p.flow_id = self.flow_id
+        p.seq = seq
+        p.created_at = created_at
+        p.hop_count = 0
+        p.enq_depth = 0
+        p.last_egress_ts = None
+        p.int_link_latency = None
+        p.int_stack = None
+        return p
 
     # -- classification helpers used by parsers and demultiplexers ---------
 

@@ -10,7 +10,7 @@ per-port max-queue-depth register (Section III-A).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Optional
 
 from repro.simnet.packet import Packet
 
@@ -39,18 +39,21 @@ class QueueStats:
 
 
 class DropTailQueue:
-    """Bounded FIFO of ``(packet, depth_at_enqueue)`` pairs.
+    """Bounded FIFO of packets.
 
-    ``depth_at_enqueue`` is the number of packets already waiting when this
-    packet arrived — the value a P4 program reads as ``enq_qdepth``.  A packet
-    arriving at an empty queue observes depth 0.
+    The depth observed at enqueue time — the number of packets already
+    waiting when this packet arrived, the value a P4 program reads as
+    ``enq_qdepth`` — is written onto the packet itself
+    (:attr:`Packet.enq_depth`) rather than stored in a per-entry pair, so
+    the queue entry is the bare packet and a push/pop cycle allocates
+    nothing.  A packet arriving at an empty queue observes depth 0.
     """
 
     def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity}")
         self.capacity = capacity
-        self._items: Deque[Tuple[Packet, int]] = deque()
+        self._items: Deque[Packet] = deque()
         self.stats = QueueStats()
         # Observability: when ``threshold`` is set, ``on_threshold(depth,
         # direction)`` fires as the depth crosses it upward ("up") or falls
@@ -69,36 +72,41 @@ class DropTailQueue:
     @property
     def queued_bytes(self) -> int:
         """Total bytes currently waiting (ground-truth delay accounting)."""
-        return sum(packet.size_bytes for packet, _ in self._items)
+        return sum(packet.size_bytes for packet in self._items)
 
     def push(self, packet: Packet) -> Optional[int]:
-        """Enqueue ``packet``.  Returns the depth it observed, or ``None`` if
-        the queue was full and the packet was dropped (drop-tail)."""
-        depth = len(self._items)
+        """Enqueue ``packet``.  Returns the depth it observed (also recorded
+        on ``packet.enq_depth``), or ``None`` if the queue was full and the
+        packet was dropped (drop-tail)."""
+        items = self._items
+        stats = self.stats
+        depth = len(items)
         if depth >= self.capacity:
-            self.stats.dropped += 1
+            stats.dropped += 1
             return None
-        self._items.append((packet, depth))
-        self.stats.enqueued += 1
-        self.stats.bytes_enqueued += packet.size_bytes
-        if depth > self.stats.max_depth_seen:
-            self.stats.max_depth_seen = depth
+        packet.enq_depth = depth
+        items.append(packet)
+        stats.enqueued += 1
+        stats.bytes_enqueued += packet.size_bytes
+        if depth > stats.max_depth_seen:
+            stats.max_depth_seen = depth
         threshold = self.threshold
         if threshold is not None and depth + 1 == threshold and self.on_threshold:
             self.on_threshold(threshold, "up")
         return depth
 
-    def pop(self) -> Optional[Tuple[Packet, int]]:
-        """Dequeue the head-of-line packet with its enqueue-time depth, or
-        ``None`` when empty."""
-        if not self._items:
+    def pop(self) -> Optional[Packet]:
+        """Dequeue the head-of-line packet (its enqueue-time depth rides on
+        ``packet.enq_depth``), or ``None`` when empty."""
+        items = self._items
+        if not items:
             return None
         self.stats.dequeued += 1
-        item = self._items.popleft()
+        packet = items.popleft()
         threshold = self.threshold
-        if threshold is not None and len(self._items) == threshold - 1 and self.on_threshold:
-            self.on_threshold(len(self._items), "down")
-        return item
+        if threshold is not None and len(items) == threshold - 1 and self.on_threshold:
+            self.on_threshold(len(items), "down")
+        return packet
 
     def clear(self) -> int:
         """Drop everything queued; returns the number of packets discarded."""

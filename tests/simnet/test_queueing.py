@@ -21,7 +21,7 @@ def test_fifo_order():
     packets = [_pkt() for _ in range(5)]
     for p in packets:
         q.push(p)
-    popped = [q.pop()[0] for _ in range(5)]
+    popped = [q.pop() for _ in range(5)]
     assert popped == packets
 
 
@@ -36,8 +36,8 @@ def test_pop_returns_recorded_depth():
     q = DropTailQueue()
     q.push(_pkt())
     q.push(_pkt())
-    _, d0 = q.pop()
-    _, d1 = q.pop()
+    d0 = q.pop().enq_depth
+    d1 = q.pop().enq_depth
     assert (d0, d1) == (0, 1)
 
 
