@@ -8,6 +8,8 @@ Commands map one-to-one onto the experiment harnesses:
 * ``reproduce`` — everything, in paper order (Fig. 3, 5, 6, 7, 8, 9);
 * ``faults``    — list/show/run fault-injection scenarios (robustness);
 * ``obs-report`` — summarize an observability export (``--obs-out`` file);
+* ``telemetry-report`` — grade the telemetry plane from a ``--telquality``
+  export: INT coverage vs prediction, freshness, error-vs-staleness;
 * ``trace-report`` — summarize a causal span export (``--trace-out`` file);
 * ``dashboard`` — render an ``--obs-out`` export as one self-contained
   HTML page (inline SVG sparklines / heatmap / alert timeline);
@@ -28,8 +30,9 @@ previous invocations, and ``--cache-dir`` relocates the cache.
 scheduler-decision lifecycles) as JSONL, ``--sample-interval S`` enables
 periodic state sampling (per-link utilization, queue depth, server load,
 telemetry staleness, decision error) plus health-rule alerts in the obs
-export, and ``--profile`` prints the engine's per-event-type hot-path
-profile after the grid completes.
+export, ``--telquality`` adds the telemetry-quality observatory record
+(read with ``telemetry-report``), and ``--profile`` prints the engine's
+per-event-type hot-path profile after the grid completes.
 
 Resilience: ``--run-timeout`` bounds each run's wall clock (hung workers
 become structured failures), ``--retries`` re-runs crashed/timed-out cells
@@ -163,6 +166,13 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
              "--obs-out export (see the dashboard command)",
     )
     parser.add_argument(
+        "--telquality", action="store_true",
+        help="collect the telemetry-quality observatory (INT coverage "
+             "ledger, freshness digests, decision-error attribution); the "
+             "kind:\"telquality\" record rides on the --obs-out export "
+             "(see the telemetry-report command)",
+    )
+    parser.add_argument(
         "--run-timeout", type=float, default=None, metavar="SECONDS",
         help="per-run wall-clock timeout; a hung run is killed and recorded "
              "as a structured failure instead of wedging the sweep "
@@ -231,6 +241,7 @@ def _runner_from_args(args: argparse.Namespace):
         profile=bool(getattr(args, "profile", False)),
         mem_profile=bool(getattr(args, "mem_profile", False)),
         sample_interval=getattr(args, "sample_interval", None),
+        telquality=bool(getattr(args, "telquality", False)),
         run_timeout=getattr(args, "run_timeout", None),
         retries=getattr(args, "retries", 0),
         journal=journal,
@@ -724,6 +735,27 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import read_jsonl
+    from repro.obs.telquality import render_telemetry_report
+
+    try:
+        records = read_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not JSONL: {exc}", file=sys.stderr)
+        return 2
+    reporter = _Reporter(args.out)
+    reporter.emit(f"telemetry-quality report — {args.path}")
+    reporter.emit(render_telemetry_report(records))
+    reporter.close()
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     import json
 
@@ -1031,6 +1063,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", help="JSONL file written via --obs-out")
     p.add_argument("--out", type=str, default=None)
     p.set_defaults(fn=cmd_obs_report)
+
+    p = sub.add_parser(
+        "telemetry-report",
+        help="grade the telemetry plane from an --obs-out export: INT port "
+             "coverage vs the layout's prediction, register freshness, and "
+             "decision error binned by telemetry age (needs --telquality)",
+    )
+    p.add_argument("path", help="JSONL file written via --obs-out")
+    p.add_argument("--out", type=str, default=None)
+    p.set_defaults(fn=cmd_telemetry_report)
 
     p = sub.add_parser(
         "dashboard",

@@ -328,12 +328,18 @@ class NetworkAwareScheduler(SchedulerService):
                 cand["truth_delay"] = truth.true_delay_between(requester_addr, addr)
             candidates.append(cand)
         chosen = ranking[0][0] if ranking and metric != METRIC_RAW else None
-        obs.audit.record(
+        decision = obs.audit.record(
             requester_addr=requester_addr,
             metric=metric,
             candidates=candidates,
             chosen_addr=chosen,
         )
+        # Telemetry-quality attribution mirrors the audit exactly: only
+        # decisions the (bounded) audit stored, only the delay metric the
+        # error report aggregates, read from the same candidate dicts.
+        telquality = getattr(obs, "telquality", None)
+        if telquality is not None and decision is not None and metric == METRIC_DELAY:
+            telquality.decision(self.host.sim.now, self.store, candidates)
 
     def _trace_decision(
         self, obs, requester_addr: int, metric: str, ranking, request_id: int

@@ -15,7 +15,7 @@ tests and benchmarks; ``SMOKE_SCALE`` is for unit-level smoke tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.baselines import NearestScheduler, RandomScheduler
 from repro.core.scheduler import (
@@ -218,14 +218,18 @@ def _setup_probing(
     config: ExperimentConfig,
     topo: Fig4Topology,
     collector: IntCollector,
-) -> List[ProbeSender]:
-    """Wire probe senders/responders per the configured layout.
+) -> Tuple[List[ProbeSender], List[Tuple[str, str]]]:
+    """Wire probe senders/responders per the configured layout; returns the
+    senders plus the (src, dst) host-name pairs probed — the layout's
+    coverage claim, which the telemetry-quality observatory checks observed
+    stampings against.
 
     Probing runs identically for every policy so all runs carry the same
     measurement overhead (fairness across compared runs)."""
     net = topo.network
     scheduler_addr = topo.scheduler_addr
     senders: List[ProbeSender] = []
+    pairs: List[Tuple[str, str]] = []
     if config.probe_layout == PROBE_LAYOUT_STAR:
         probe_size = config.probe_size if config.probe_size is not None else MTU
         ProbeResponder(net.host(topo.scheduler_name), collector=collector)
@@ -237,6 +241,7 @@ def _setup_probing(
                 probe_size=probe_size,
             )
             senders.append(sender)
+            pairs.append((name, topo.scheduler_name))
     elif config.probe_layout == PROBE_LAYOUT_OPTIMIZED:
         # Greedy set-cover probe routes (the paper's deferred route
         # optimization): full directed-port coverage with ~an order of
@@ -278,9 +283,12 @@ def _setup_probing(
                 probe_size=probe_size,
             )
             senders.append(sender)
+            pairs.extend(
+                (name, other) for other in topo.node_names if other != name
+            )
     for sender in senders:
         sender.start()
-    return senders
+    return senders, pairs
 
 
 def reset_run_state() -> None:
@@ -347,7 +355,14 @@ def run_experiment(config: ExperimentConfig, *, obs=None, profiler=None) -> Expe
         # Baselines ignore telemetry but the collection runs anyway so all
         # policies pay the same probing cost.
         collector = IntCollector(net.host(topo.scheduler_name))
-    _setup_probing(config, topo, collector)
+    _senders, probe_pairs = _setup_probing(config, topo, collector)
+    telquality = getattr(obs, "telquality", None) if obs else None
+    if telquality is not None:
+        telquality.configure(
+            layout=config.probe_layout,
+            pairs=probe_pairs,
+            probing_interval=config.probing_interval,
+        )
 
     # Workload plan (policy-independent given the seed).
     spec = WorkloadSpec(

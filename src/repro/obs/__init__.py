@@ -42,6 +42,7 @@ from repro.obs.metrics import (
     NULL_SINK,
 )
 from repro.obs.quantiles import QuantileDigest
+from repro.obs.telquality import TelemetryQuality
 from repro.obs.timeseries import Series, TimeSeriesStore
 from repro.obs.tracing import Span, SpanTracer
 
@@ -64,6 +65,7 @@ __all__ = [
     "SpanTracer",
     "QuantileDigest",
     "Series",
+    "TelemetryQuality",
     "TimeSeriesStore",
     "HealthMonitor",
     "HealthRule",
@@ -95,6 +97,7 @@ class Observability:
         sample_interval: Optional[float] = None,
         ts_capacity: Optional[int] = None,
         health_rules: Optional[Any] = None,
+        telquality: bool = False,
     ) -> None:
         if probe_sample < 1:
             raise ValueError("probe_sample must be >= 1")
@@ -139,6 +142,12 @@ class Observability:
         # rule set here overrides the defaults.
         self.health: Optional[HealthMonitor] = None
         self._health_rules = health_rules
+        # Telemetry-quality observatory — opt-in like tracing and sampling:
+        # None unless requested, so instrumented call sites guard with one
+        # getattr and a disabled run exports a byte-identical record stream.
+        self.telquality: Optional[TelemetryQuality] = (
+            TelemetryQuality() if telquality else None
+        )
 
     def __bool__(self) -> bool:
         return True
@@ -179,6 +188,8 @@ class Observability:
                 "a": self.metrics.counter("link_bytes_total", link=name, direction="a"),
                 "b": self.metrics.counter("link_bytes_total", link=name, direction="b"),
             }
+        if self.telquality is not None:
+            self.telquality.attach_network(network)
         if self.timeseries is not None:
             self._register_network_samplers(network)
 
@@ -300,6 +311,22 @@ class Observability:
 
         ts.register(sample_decision_error)
 
+        # Telemetry-quality series feed the coverage_gap / staleness_ceiling
+        # health rules.  Registered only when the observatory is attached,
+        # so sampled-but-unobserved runs keep their series set unchanged.
+        tq = self.telquality
+        if tq is not None:
+
+            def sample_telquality(s: TimeSeriesStore, now: float) -> None:
+                frac = tq.coverage_fraction()
+                if frac is not None:
+                    s.record("telemetry_coverage_frac", now, frac)
+                age = tq.take_max_decision_age()
+                if age is not None:
+                    s.record("telemetry_decision_age_max", now, age)
+
+            ts.register(sample_telquality)
+
         rules = self._health_rules
         if rules is None and probing_interval is not None:
             rules = default_rules(probing_interval)
@@ -389,6 +416,10 @@ class Observability:
         # byte-identical whether or not sampling was enabled.
         if self.timeseries is not None:
             records += self.timeseries.snapshot()
+        # Telemetry-quality records append after everything else for the
+        # same reason: enabling collection leaves the prefix byte-identical.
+        if self.telquality is not None:
+            records += self.telquality.snapshot_records(self.events)
         if self.run:
             run = dict(self.run)
             for record in records:
@@ -431,4 +462,6 @@ class Observability:
             }
         if self.health is not None:
             out["health"] = self.health.summary()
+        if self.telquality is not None:
+            out["telquality"] = self.telquality.summary()
         return out

@@ -17,10 +17,16 @@ Sections, all driven by record kinds that already exist:
   histogram (digest-backed);
 * **engine profile** — per-handler wall table plus the phase flamegraph
   (inline SVG, zero scripts), from ``profile`` records appended by
-  ``--profile --obs-out`` runs.
+  ``--profile --obs-out`` runs;
+* **telemetry coverage / freshness / error vs telemetry age** — the
+  INT-plane quality panels from ``telquality`` records (``--telquality``
+  runs): observed-vs-blind directed ports against the layout's
+  prediction, per-register refresh quantiles, and the decision-error
+  table binned by consulted-telemetry age.
 
 Every section renders a placeholder when its records are absent — a
-metrics-only export still produces a valid page and exit 0.
+metrics-only export (or one written before the telemetry-quality
+observatory existed) still produces a valid page and exit 0.
 
 Rendering is deterministic: iteration is sorted everywhere, floats are
 formatted through one helper, and nothing reads the wall clock — the same
@@ -310,6 +316,149 @@ def _profile_section(profile: Dict[str, Any]) -> str:
     return "".join(parts)
 
 
+def _digest_cells(data: Optional[Dict[str, Any]]) -> str:
+    """n/p50/p95/max table cells for one serialized QuantileDigest."""
+    if not data:
+        return "<td>0</td><td>-</td><td>-</td><td>-</td>"
+    from repro.obs.quantiles import QuantileDigest
+
+    digest = QuantileDigest.from_dict(data)
+    p50, p95 = digest.quantiles((0.5, 0.95))
+    return (
+        f"<td>{_fmt(digest.count)}</td><td>{_fmt(p50)}</td>"
+        f"<td>{_fmt(p95)}</td><td>{_fmt(digest.max)}</td>"
+    )
+
+
+def _telquality_coverage(record: Dict[str, Any]) -> str:
+    coverage = record.get("coverage") or {}
+    total = coverage.get("total_ports") or 0
+    observed = coverage.get("observed_ports") or 0
+    pct = 100.0 * observed / total if total else 0.0
+    blind = coverage.get("blind") or []
+    parts = [
+        f"<p><code>{_esc(_run_key(record) or '-')}</code> "
+        f"layout <b>{_esc(record.get('layout'))}</b>: "
+        f"{observed}/{total} directed ports observed ({pct:.0f}%), "
+        f"{len(blind)} blind</p>"
+    ]
+    if coverage.get("matches_prediction") is not None:
+        verdict = (
+            "matches the layout's predicted blind set"
+            if coverage["matches_prediction"]
+            else "DIVERGES from the layout's predicted blind set"
+        )
+        parts.append(f'<div class="t">{_esc(verdict)}</div>')
+    if blind:
+        labels = ", ".join(f"{u}&rarr;{v}" for u, v in blind)
+        parts.append(f'<div class="t">blind: {labels}</div>')
+    ports = coverage.get("ports") or []
+    if ports:
+        rows = [
+            '<table><tr><th class="l">port</th><th>obs</th>'
+            "<th>eff. interval</th><th>probe pairs</th></tr>"
+        ]
+        for port in ports:
+            rows.append(
+                "<tr>"
+                f'<td class="l">{_esc(port["u"])}&rarr;{_esc(port["v"])}</td>'
+                f"<td>{_fmt(port.get('observations'))}</td>"
+                f"<td>{_fmt(port.get('effective_interval'))}</td>"
+                f"<td>{_fmt(len(port.get('pairs') or []))}</td>"
+                "</tr>"
+            )
+        rows.append("</table>")
+        parts.append("".join(rows))
+    return "".join(parts)
+
+
+def _telquality_freshness(record: Dict[str, Any]) -> str:
+    freshness = record.get("freshness") or {}
+    parts = [
+        f"<p><code>{_esc(_run_key(record) or '-')}</code> "
+        "decision-time consulted-hop age:</p>"
+        '<table><tr><th class="l">series</th><th>n</th><th>p50</th>'
+        "<th>p95</th><th>max</th></tr>"
+        '<tr><td class="l">decision age</td>'
+        + _digest_cells(freshness.get("decision_age"))
+        + "</tr></table>"
+    ]
+    registers = freshness.get("registers") or []
+    if registers:
+        rows = [
+            '<table><tr><th class="l">node</th><th class="l">register</th>'
+            "<th>refreshes</th><th>n</th><th>p50</th><th>p95</th>"
+            "<th>max</th></tr>"
+        ]
+        for reg in registers:
+            rows.append(
+                "<tr>"
+                f'<td class="l">{_esc(reg["node"])}</td>'
+                f'<td class="l">{_esc(reg["register"])}</td>'
+                f"<td>{_fmt(reg.get('refreshes'))}</td>"
+                + _digest_cells(reg.get("age"))
+                + "</tr>"
+            )
+        rows.append("</table>")
+        parts.append("".join(rows))
+    return "".join(parts)
+
+
+def _telquality_attribution(record: Dict[str, Any]) -> str:
+    attribution = record.get("attribution") or {}
+    parts = [
+        f"<p><code>{_esc(_run_key(record) or '-')}</code> "
+        f"{_fmt(attribution.get('samples'))} samples over "
+        f"{_fmt(attribution.get('decisions'))} decisions "
+        f"({_fmt(attribution.get('skipped'))} skipped); age bins in "
+        f"probing-interval multiples (interval "
+        f"{_fmt(attribution.get('interval'))}s):</p>"
+    ]
+    bins = attribution.get("bins") or []
+    if bins:
+        counts = [item.get("count", 0) for item in bins]
+        peak = max(counts) if counts else 0
+        rows = [
+            '<table><tr><th class="l">age bin</th><th>count</th>'
+            "<th>mean error</th><th>mean |error|</th>"
+            '<th class="l">share</th></tr>'
+        ]
+        for item in bins:
+            count = item.get("count", 0)
+            bar_w = int(round(120.0 * count / peak)) if peak else 0
+            bar = (
+                f'<svg width="124" height="10" viewBox="0 0 124 10">'
+                f'<rect class="bar" x="0" y="1" width="{bar_w}" height="8"/>'
+                "</svg>"
+            )
+            rows.append(
+                "<tr>"
+                f'<td class="l">{_esc(item.get("label"))}</td>'
+                f"<td>{_fmt(count)}</td>"
+                f"<td>{_fmt(item.get('mean_error'))}</td>"
+                f"<td>{_fmt(item.get('mean_abs_error'))}</td>"
+                f'<td class="l">{bar}</td>'
+                "</tr>"
+            )
+        rows.append("</table>")
+        parts.append("".join(rows))
+    for name, title in (
+        ("loss_windows", "probe-loss windows"),
+        ("fault_windows", "fault windows"),
+    ):
+        split = attribution.get(name) or {}
+        inside = split.get("in") or {}
+        outside = split.get("out") or {}
+        parts.append(
+            f'<div class="t">{_esc(title)}: {_fmt(split.get("windows", 0))}; '
+            f"in: {_fmt(inside.get('count', 0))} samples "
+            f"mae={_fmt(inside.get('mean_abs_error'))}; "
+            f"out: {_fmt(outside.get('count', 0))} samples "
+            f"mae={_fmt(outside.get('mean_abs_error'))}</div>"
+        )
+    return "".join(parts)
+
+
 def _timeseries_of(
     records: List[Dict[str, Any]], name: str
 ) -> List[Dict[str, Any]]:
@@ -420,6 +569,33 @@ def render_dashboard(
             '<p class="empty">no engine profile (run with --profile and '
             "--obs-out)</p>"
         )
+
+    # Telemetry-quality panels: absent on pre-observatory exports, which
+    # still render (placeholders, exit 0) — backward compatibility is the
+    # same placeholder path as every other optional section.
+    telquality = sorted(
+        (r for r in records if r.get("kind") == "telquality"),
+        key=_run_key,
+    )
+    no_telquality = (
+        '<p class="empty">no telemetry-quality records '
+        "(run with --telquality and --obs-out)</p>"
+    )
+    parts.append("<h2>Telemetry coverage</h2>")
+    if telquality:
+        parts.extend(_telquality_coverage(r) for r in telquality)
+    else:
+        parts.append(no_telquality)
+    parts.append("<h2>Telemetry freshness</h2>")
+    if telquality:
+        parts.extend(_telquality_freshness(r) for r in telquality)
+    else:
+        parts.append(no_telquality)
+    parts.append("<h2>Error vs telemetry age</h2>")
+    if telquality:
+        parts.extend(_telquality_attribution(r) for r in telquality)
+    else:
+        parts.append(no_telquality)
 
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

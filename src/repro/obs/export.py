@@ -16,7 +16,11 @@ The wire format is one JSON object per line, discriminated by ``kind``:
   summarized by ``repro trace-report``;
 * ``{"kind": "profile", "profile": <summary>}`` — the merged engine
   profile (per-handler wall, phase attribution, overhead estimate),
-  appended when a command runs with both ``--profile`` and ``--obs-out``.
+  appended when a command runs with both ``--profile`` and ``--obs-out``;
+* ``{"kind": "telquality", ...}`` — the telemetry-quality observatory
+  record (INT coverage ledger, freshness digests, decision-error
+  attribution; see :mod:`repro.obs.telquality`), present for
+  ``--telquality`` runs and summarized by ``repro telemetry-report``.
 
 Records exported from a hub with run labels carry them under ``"run"`` so
 multiple runs (e.g. every cell of a policy comparison) can share one file
@@ -126,7 +130,8 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
         f"(metric {by_kind.get('metric', 0)}, event {by_kind.get('event', 0)}, "
         f"decision-audit {by_kind.get('decision-audit', 0)}, "
         f"timeseries {by_kind.get('timeseries', 0)}, "
-        f"profile {by_kind.get('profile', 0)})",
+        f"profile {by_kind.get('profile', 0)}, "
+        f"telquality {by_kind.get('telquality', 0)})",
     ]
 
     event_counts: Dict[str, int] = {}
@@ -253,11 +258,21 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
                 ", ".join(f"{k}={v}" for k, v in key) if key else "(unlabeled run)"
             )
             total = sum(int(e.get("lost", 0)) for e in events)
-            pairs = {(e.get("src"), e.get("dst")) for e in events}
+            by_pair: Dict[Tuple[str, str], Dict[str, int]] = {}
+            for e in events:
+                pair = (str(e.get("src")), str(e.get("dst")))
+                counts = by_pair.setdefault(pair, {"gaps": 0, "lost": 0})
+                counts["gaps"] += 1
+                counts["lost"] += int(e.get("lost", 0))
             lines.append(
                 f"  {label}: {total} probes lost across {len(events)} gap events "
-                f"({len(pairs)} src/dst pairs)"
+                f"({len(by_pair)} src/dst pairs)"
             )
+            for (src, dst), counts in sorted(by_pair.items()):
+                lines.append(
+                    f"    {src} -> {dst}: {counts['lost']} lost "
+                    f"in {counts['gaps']} gap(s)"
+                )
 
     # Per-run (≈ per-policy cell) decision audit summary.
     runs: Dict[Tuple[Tuple[str, Any], ...], List[Dict[str, Any]]] = {}

@@ -67,6 +67,9 @@ def default_rules(
     error_consecutive: int = 3,
     loss_rate: float = 0.05,
     loss_consecutive: int = 2,
+    coverage_frac: float = 0.9,
+    coverage_consecutive: int = 2,
+    ceiling_multiple: float = 10.0,
 ) -> Tuple[HealthRule, ...]:
     """The built-in rule set, parameterized by the run's probing interval.
 
@@ -76,7 +79,15 @@ def default_rules(
       ``staleness_multiple`` probing intervals;
     * ``estimate_drift`` — the windowed mean absolute estimate-vs-truth
       delay error above ``error_threshold`` seconds;
-    * ``probe_loss`` — the collector's seq-gap loss rate above ``loss_rate``.
+    * ``probe_loss`` — the collector's seq-gap loss rate above ``loss_rate``;
+    * ``coverage_gap`` — the telemetry-quality observatory sees less than
+      ``coverage_frac`` of the directed fabric ports;
+    * ``staleness_ceiling`` — a scheduler decision consulted telemetry older
+      than ``ceiling_multiple`` probing intervals.
+
+    The last two watch series only the telemetry-quality observatory
+    records (``--telquality`` with sampling); without it they never see a
+    sample and never fire, keeping pre-observatory runs unchanged.
     """
     return (
         HealthRule(
@@ -94,6 +105,15 @@ def default_rules(
         HealthRule(
             "probe_loss", series="probe_loss_rate",
             threshold=loss_rate, consecutive=loss_consecutive,
+        ),
+        HealthRule(
+            "coverage_gap", series="telemetry_coverage_frac",
+            threshold=coverage_frac, consecutive=coverage_consecutive,
+            comparison=CMP_LTE,
+        ),
+        HealthRule(
+            "staleness_ceiling", series="telemetry_decision_age_max",
+            threshold=ceiling_multiple * probing_interval, consecutive=2,
         ),
     )
 

@@ -208,7 +208,8 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
         obs = None
         labels = spec.obs_run()
         sampled = getattr(spec, "sample_interval", None)
-        if labels is not None or spec.trace or sampled is not None:
+        telquality = bool(getattr(spec, "telquality", False))
+        if labels is not None or spec.trace or sampled is not None or telquality:
             from repro.obs import Observability
 
             if labels is None:
@@ -220,7 +221,8 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
                     "seed": spec.seed,
                 }
             obs = Observability(
-                run=labels, trace=spec.trace, sample_interval=sampled
+                run=labels, trace=spec.trace, sample_interval=sampled,
+                telquality=telquality,
             )
         if memory_capture is not None:
             memory_capture.start()
@@ -228,7 +230,9 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
         if memory_capture is not None:
             profiler.memory = memory_capture.stop()
         payload = result_to_dict(result, include_tasks=True)
-        if obs is not None and (spec.obs_run() is not None or sampled is not None):
+        if obs is not None and (
+            spec.obs_run() is not None or sampled is not None or telquality
+        ):
             payload["obs_records"] = obs.snapshot_records()
         if obs is not None and spec.trace:
             payload["trace_records"] = obs.trace_records()
@@ -384,6 +388,7 @@ class Runner:
         profile: bool = False,
         mem_profile: bool = False,
         sample_interval: Optional[float] = None,
+        telquality: bool = False,
         run_timeout: Optional[float] = None,
         retries: int = 0,
         backoff_base: float = 0.5,
@@ -419,6 +424,7 @@ class Runner:
         self.mem_profile = mem_profile
         self.profile = profile or mem_profile
         self.sample_interval = sample_interval
+        self.telquality = telquality
         self.trace_records: List[Dict[str, Any]] = []
         self.profiles: List[Dict[str, Any]] = []
         if obs is not None:
@@ -443,13 +449,17 @@ class Runner:
         :class:`RunsFailedError` is raised *after* the whole grid was
         attempted."""
         started = time.monotonic()
-        if self.trace or self.profile or self.sample_interval is not None:
+        if (
+            self.trace or self.profile or self.sample_interval is not None
+            or self.telquality
+        ):
             specs = [
                 spec.instrumented(
                     trace=self.trace,
                     profile=self.profile,
                     mem_profile=self.mem_profile,
                     sample_interval=self.sample_interval,
+                    telquality=self.telquality,
                 )
                 for spec in specs
             ]

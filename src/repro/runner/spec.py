@@ -143,6 +143,11 @@ class RunSpec:
     # time-series (and possibly alert) records, so it must not alias a
     # plain run's cache entry.
     sample_interval: Optional[float] = None
+    # Telemetry-quality observatory (coverage ledger, freshness digests,
+    # decision-error attribution).  In the hash: an observed run's payload
+    # carries the kind:"telquality" record, so it must not alias a plain
+    # run's cache entry.
+    telquality: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_interval is not None and self.sample_interval <= 0:
@@ -325,6 +330,7 @@ class RunSpec:
         profile: bool = False,
         mem_profile: bool = False,
         sample_interval: Optional[float] = None,
+        telquality: bool = False,
     ) -> "RunSpec":
         """This spec with instrumentation flags ORed in (identity when no
         flag changes, so un-instrumented grids keep their spec objects).
@@ -337,16 +343,18 @@ class RunSpec:
             self.sample_interval if self.sample_interval is not None
             else sample_interval
         )
+        telquality = telquality or self.telquality
         if (
             trace == self.trace
             and profile == self.profile
             and mem_profile == self.mem_profile
             and sample_interval == self.sample_interval
+            and telquality == self.telquality
         ):
             return self
         return replace(
             self, trace=trace, profile=profile, mem_profile=mem_profile,
-            sample_interval=sample_interval,
+            sample_interval=sample_interval, telquality=telquality,
         )
 
 
@@ -403,10 +411,12 @@ class CalibrationSpec:
         profile: bool = False,
         mem_profile: bool = False,
         sample_interval: Optional[float] = None,
+        telquality: bool = False,
     ) -> "CalibrationSpec":
-        """Profiling only — calibration runs have nothing to span-trace or
-        periodically sample.  ``mem_profile`` implies ``profile``."""
-        del trace, sample_interval
+        """Profiling only — calibration runs have nothing to span-trace,
+        periodically sample, or probe (no scheduler, so no telemetry plane
+        to grade).  ``mem_profile`` implies ``profile``."""
+        del trace, sample_interval, telquality
         mem_profile = mem_profile or self.mem_profile
         profile = profile or self.profile or mem_profile
         if profile != self.profile or mem_profile != self.mem_profile:

@@ -92,6 +92,9 @@ class IntCollector:
                 trace.probe_ingested(
                     src=probe_src, dst=probe_dst, seq=seq, hops=len(records)
                 )
+            telquality = getattr(obs, "telquality", None)
+            if telquality is not None:
+                telquality.report_ingested(report)
             self._track_loss(obs, probe_src, probe_dst, seq)
         for fn in self._subscribers:
             fn(report)

@@ -107,15 +107,21 @@ def greedy_probe_cover(
 
     chosen: List[Tuple[str, str]] = []
     uncovered = set(required)
+    # Candidates are scanned in sorted order with a strict-improvement
+    # update, so ties break on the lexicographically smallest (src, dst)
+    # pair and the selection sequence never depends on dict iteration
+    # order — the output is stable across Python versions and platforms.
+    ordered = sorted(candidates)
     while uncovered:
-        best_pair = min(
-            candidates,
-            key=lambda pair: (-len(candidates[pair] & uncovered), pair),
-        )
-        gain = candidates[best_pair] & uncovered
-        if not gain:  # pragma: no cover - guarded by the reachability check
+        best_pair: Optional[Tuple[str, str]] = None
+        best_gain = 0
+        for pair in ordered:
+            gain = len(candidates[pair] & uncovered)
+            if gain > best_gain:
+                best_pair, best_gain = pair, gain
+        if best_pair is None:  # pragma: no cover - guarded by reachability
             raise TelemetryError("greedy cover stalled")
         chosen.append(best_pair)
-        uncovered -= gain
-        del candidates[best_pair]
+        uncovered -= candidates[best_pair]
+        ordered.remove(best_pair)
     return chosen

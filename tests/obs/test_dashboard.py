@@ -170,3 +170,95 @@ class TestProfileSection:
     def test_deterministic_with_profile(self):
         records = _sample_records() + [_profile_record()]
         assert render_dashboard(records) == render_dashboard(records)
+
+
+def _telquality_record():
+    return {
+        "kind": "telquality",
+        "layout": "star",
+        "probing_interval": 0.1,
+        "pairs": [["h1", "h2"]],
+        "run": {"policy": "aware", "seed": 0},
+        "coverage": {
+            "total_ports": 3, "observed_ports": 1, "expected_ports": 1,
+            "blind": [["s1", "h1"], ["s1", "h3"]],
+            "expected_blind": [["s1", "h1"], ["s1", "h3"]],
+            "matches_prediction": True,
+            "ports": [{
+                "u": "s1", "v": "h2", "observations": 4,
+                "first": 1.0, "last": 1.3, "effective_interval": 0.1,
+                "pairs": [["h1", "h2"]],
+            }],
+        },
+        "freshness": {
+            "registers": [{
+                "node": "s1", "register": "qdepth", "refreshes": 4,
+                "age": {"lo": 1e-4, "hi": 1e4, "bins": 256, "count": 3,
+                        "underflow": 0, "overflow": 0, "min": 0.1,
+                        "max": 0.1, "counts": {"120": 3}},
+            }],
+            "decision_age": None,
+        },
+        "attribution": {
+            "interval": 0.1, "decisions": 2, "samples": 2, "skipped": 0,
+            "bins": [
+                {"label": "[0x, 0.5x)", "lo_multiple": 0.0,
+                 "hi_multiple": 0.5, "count": 2, "mean_error": 0.01,
+                 "mean_abs_error": 0.01},
+                {"label": "unknown", "lo_multiple": None,
+                 "hi_multiple": None, "count": 0, "mean_error": None,
+                 "mean_abs_error": None},
+            ],
+            "loss_windows": {
+                "windows": 1,
+                "in": {"count": 1, "mean_error": 0.01, "mean_abs_error": 0.01},
+                "out": {"count": 1, "mean_error": 0.01, "mean_abs_error": 0.01},
+            },
+            "fault_windows": {
+                "windows": 0,
+                "in": {"count": 0, "mean_error": None, "mean_abs_error": None},
+                "out": {"count": 2, "mean_error": 0.01, "mean_abs_error": 0.01},
+            },
+        },
+    }
+
+
+class TestTelqualitySections:
+    def test_panels_rendered(self):
+        html = render_dashboard(_sample_records() + [_telquality_record()])
+        assert "Telemetry coverage" in html
+        assert "Telemetry freshness" in html
+        assert "Error vs telemetry age" in html
+        coverage = html.split("Telemetry coverage", 1)[1]
+        assert "1/3 directed ports observed (33%)" in coverage
+        assert "matches the layout&#x27;s predicted blind set" in coverage
+        assert "s1&rarr;h2" in coverage
+        freshness = html.split("Telemetry freshness", 1)[1]
+        assert "qdepth" in freshness
+        age = html.split("Error vs telemetry age", 1)[1]
+        assert "[0x, 0.5x)" in age
+        assert "probe-loss windows: 1" in age
+
+    def test_page_with_telquality_stays_self_contained(self):
+        html = render_dashboard(_sample_records() + [_telquality_record()])
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "<script" not in html
+        assert not re.search(r"\bsrc\s*=", html)
+
+    def test_old_format_export_renders_placeholders_from_file(self, tmp_path):
+        """A pre-observatory export (no telquality records anywhere) loaded
+        back off disk still renders every panel as a placeholder."""
+        from repro.obs.export import read_jsonl, write_jsonl
+
+        path = tmp_path / "old.jsonl"
+        write_jsonl(_sample_records() + [_profile_record()], str(path))
+        html = render_dashboard(read_jsonl(str(path)))
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.count("no telemetry-quality records") == 3
+        assert "Link utilization" in html
+
+    def test_deterministic_with_telquality(self):
+        records = _sample_records() + [_telquality_record()]
+        assert render_dashboard(records) == render_dashboard(records)
+        assert render_dashboard(records) == render_dashboard(records[::-1])

@@ -122,9 +122,26 @@ class TestReport:
         assert "policy=aware: 6 probes lost across 3 gap events (2 src/dst pairs)" in report
         assert "policy=nearest: 1 probes lost across 1 gap events (1 src/dst pairs)" in report
 
+    def test_probe_loss_per_pair_table(self):
+        obs = Observability(run={"policy": "aware"})
+        obs.events.probe_lost(src=1, dst=5, seq=10, lost=3)
+        obs.events.probe_lost(src=1, dst=5, seq=20, lost=1)
+        obs.events.probe_lost(src=2, dst=5, seq=7, lost=2)
+        report = render_obs_report(obs.snapshot_records())
+        # One sorted row per (src, dst) pair under the run's summary line.
+        assert "1 -> 5: 4 lost in 2 gap(s)" in report
+        assert "2 -> 5: 2 lost in 1 gap(s)" in report
+        assert report.index("1 -> 5") < report.index("2 -> 5")
+
     def test_no_probe_loss_section_when_clean(self):
         report = render_obs_report(_populated_hub().snapshot_records())
         assert "probe loss" not in report
+
+    def test_telquality_counted_in_header(self):
+        records = _populated_hub().snapshot_records()
+        assert "telquality 0" in render_obs_report(records)
+        records.append({"kind": "telquality"})
+        assert "telquality 1" in render_obs_report(records)
 
     def test_resilience_section_surfaces_failures(self):
         obs = Observability()

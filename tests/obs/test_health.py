@@ -43,8 +43,14 @@ class TestRule:
         rules = {r.name: r for r in default_rules(0.1)}
         assert set(rules) == {
             "queue_saturation", "telemetry_stale", "estimate_drift", "probe_loss",
+            "coverage_gap", "staleness_ceiling",
         }
         assert rules["telemetry_stale"].threshold == pytest.approx(0.5)
+        assert rules["staleness_ceiling"].threshold == pytest.approx(1.0)
+        # A coverage gap is "too little", not "too much".
+        assert rules["coverage_gap"].comparison == "lte"
+        assert rules["coverage_gap"].breached(0.8)
+        assert not rules["coverage_gap"].breached(0.95)
 
     def test_duplicate_rule_names_rejected(self):
         rule = HealthRule("dup", series="s", threshold=1.0)

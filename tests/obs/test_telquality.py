@@ -1,0 +1,257 @@
+"""Telemetry-quality observatory: coverage ledger, freshness, attribution."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.telquality import (
+    AGE_BIN_EDGES,
+    TelemetryQuality,
+    render_telemetry_report,
+)
+from repro.simnet.random import RandomStreams
+from repro.simnet.topology import Network
+
+
+@pytest.fixture
+def star3(sim):
+    """Three hosts on one switch: ports (s1,h1), (s1,h2), (s1,h3)."""
+    net = Network(sim, streams=RandomStreams(0))
+    for name in ("h1", "h2", "h3"):
+        net.add_host(name)
+    net.add_switch("s1")
+    for name in ("h1", "h2", "h3"):
+        net.connect(name, "s1", rate_bps=20e6, delay=1e-3)
+    net.finalize()
+    return net
+
+
+class _StubReport:
+    """Just the surface TelemetryQuality reads from a decoded probe."""
+
+    def __init__(self, net, src, dst, observations, latencies, collected_at):
+        self.probe_src = net.hosts[src].addr
+        self.probe_dst = net.hosts[dst].addr
+        self.collected_at = collected_at
+        self._observations = observations
+        self._latencies = latencies
+
+    def port_observations(self):
+        return list(self._observations)
+
+    def link_latencies(self):
+        return list(self._latencies)
+
+
+def _report(net, src, dst, at):
+    """A probe src -> s1 -> dst: one qdepth stamping and one latency."""
+    sw = ("sw", net.switches["s1"].switch_id)
+    src_node = ("host", net.hosts[src].addr)
+    dst_node = ("host", net.hosts[dst].addr)
+    return _StubReport(
+        net, src, dst,
+        observations=[(sw, dst_node, 0, 3)],
+        latencies=[(src_node, sw, 0.002), (sw, dst_node, 0.001)],
+        collected_at=at,
+    )
+
+
+class _StubState:
+    def __init__(self, latency_updated_at=-1.0, qdepth_updated_at=-1.0):
+        self.latency_updated_at = latency_updated_at
+        self.qdepth_updated_at = qdepth_updated_at
+
+
+class _StubStore:
+    def __init__(self, states):
+        self._states = states
+
+    def link_state(self, u, v):
+        return self._states.get((u, v))
+
+
+def _candidate(est, truth, path=()):
+    return {"estimated_delay": est, "truth_delay": truth, "path": list(path)}
+
+
+class TestCoverageLedger:
+    def test_observed_ports_and_pairs(self, sim, star3):
+        tq = TelemetryQuality()
+        tq.attach_network(star3)
+        tq.configure(layout="star", pairs=[("h1", "h2")], probing_interval=0.1)
+        tq.report_ingested(_report(star3, "h1", "h2", 1.0))
+        tq.report_ingested(_report(star3, "h1", "h2", 1.1))
+        coverage = tq._coverage_section()
+        assert coverage["total_ports"] == 3
+        assert coverage["observed_ports"] == 1
+        assert coverage["blind"] == [["s1", "h1"], ["s1", "h3"]]
+        (port,) = coverage["ports"]
+        assert (port["u"], port["v"]) == ("s1", "h2")
+        assert port["observations"] == 2
+        assert port["effective_interval"] == pytest.approx(0.1)
+        assert port["pairs"] == [["h1", "h2"]]
+
+    def test_blind_set_checked_against_layout_prediction(self, sim, star3):
+        tq = TelemetryQuality()
+        tq.attach_network(star3)
+        # The (h1, h2) probe covers exactly (s1, h2): prediction matches.
+        tq.configure(layout="star", pairs=[("h1", "h2")], probing_interval=0.1)
+        tq.report_ingested(_report(star3, "h1", "h2", 1.0))
+        assert tq._coverage_section()["matches_prediction"] is True
+        # A probe the layout never promised lights up (s1, h3): divergence.
+        tq.report_ingested(_report(star3, "h1", "h3", 2.0))
+        coverage = tq._coverage_section()
+        assert coverage["matches_prediction"] is False
+        assert coverage["expected_blind"] == [["s1", "h1"], ["s1", "h3"]]
+
+    def test_coverage_fraction_none_before_configure(self, sim, star3):
+        tq = TelemetryQuality()
+        tq.attach_network(star3)
+        assert tq.coverage_fraction() is None
+        tq.configure(layout="mesh", pairs=[], probing_interval=0.1)
+        assert tq.coverage_fraction() == 0.0
+        tq.report_ingested(_report(star3, "h1", "h2", 1.0))
+        assert tq.coverage_fraction() == pytest.approx(1.0 / 3.0)
+
+
+class TestFreshness:
+    def test_register_refresh_gaps(self, sim, star3):
+        tq = TelemetryQuality()
+        tq.attach_network(star3)
+        tq.configure(layout="star", pairs=[("h1", "h2")], probing_interval=0.1)
+        for at in (1.0, 1.1, 1.3):
+            tq.report_ingested(_report(star3, "h1", "h2", at))
+        section = tq._freshness_section()
+        by_key = {(r["node"], r["register"]): r for r in section["registers"]}
+        assert by_key[("s1", "qdepth")]["refreshes"] == 3
+        assert by_key[("s1", "latency")]["refreshes"] == 3
+        # The final switch -> host latency reading has no switch register.
+        assert set(by_key) == {("s1", "qdepth"), ("s1", "latency")}
+
+    def test_decision_age_digest_and_sampler_cursor(self):
+        tq = TelemetryQuality()
+        tq.probing_interval = 0.1
+        store = _StubStore({
+            (("host", 1), ("sw", 1)): _StubState(0.8, 0.9),
+            (("sw", 1), ("host", 2)): _StubState(0.5, -1.0),
+        })
+        tq.decision(1.0, store, [
+            _candidate(0.01, 0.02, ["host:1", "sw:1", "host:2"]),
+        ])
+        assert tq.decision_age.count == 2   # one age per consulted hop
+        assert tq.take_max_decision_age() == pytest.approx(0.5)
+        assert tq.take_max_decision_age() is None   # cursor advanced
+
+
+class TestAttribution:
+    def test_skip_rules_mirror_delay_error_stats(self):
+        tq = TelemetryQuality()
+        store = _StubStore({})
+        tq.decision(1.0, store, [
+            _candidate(None, 0.02),            # estimate missing
+            _candidate(math.inf, 0.02),        # unreachable estimate
+            _candidate(0.01, None),            # truth missing
+            _candidate(0.01, 0.02),            # accepted
+        ])
+        assert tq.samples_skipped == 3
+        assert len(tq._samples) == 1
+
+    def test_bins_partition_samples(self):
+        tq = TelemetryQuality()
+        tq.probing_interval = 1.0
+        # Hop ages 0.2 (bin 0), 3.0 (bin [2x,5x)), 50.0 (>= 20x tail).
+        store = _StubStore({
+            (("host", 1), ("sw", 1)): _StubState(0.0, 0.0),
+        })
+        for now, err in ((0.2, 0.01), (3.0, -0.02), (50.0, 0.05)):
+            tq.decision(now, store, [
+                _candidate(err, 0.0, ["host:1", "sw:1"]),
+            ])
+        # A candidate with no resolvable hops lands in the unknown bin.
+        tq.decision(60.0, store, [_candidate(0.01, 0.0, ["host:9", "sw:9"])])
+        section = tq._attribution_section(None)
+        by_label = {b["label"]: b for b in section["bins"]}
+        assert by_label["[0x, 0.5x)"]["count"] == 1
+        assert by_label["[2x, 5x)"]["count"] == 1
+        assert by_label[">= 20x"]["count"] == 1
+        assert by_label["unknown"]["count"] == 1
+        assert sum(b["count"] for b in section["bins"]) == section["samples"]
+        assert by_label["[2x, 5x)"]["mean_error"] == pytest.approx(-0.02)
+        assert by_label["[2x, 5x)"]["mean_abs_error"] == pytest.approx(0.02)
+        assert len(section["bins"]) == len(AGE_BIN_EDGES) + 1
+
+    def test_loss_and_fault_window_split(self):
+        tq = TelemetryQuality()
+        tq.probing_interval = 0.1
+        store = _StubStore({})
+        tq.decision(1.0, store, [_candidate(0.01, 0.0)])   # inside windows
+        tq.decision(5.0, store, [_candidate(0.04, 0.0)])   # outside
+        events = EventLog()
+        events.probe_lost(src=1, dst=2, seq=9, lost=2, time=1.1)
+        events.fault_injected(fault="link_down", target="s1", time=0.9)
+        events.fault_recovered(fault="link_down", target="s1", time=1.5)
+        section = tq._attribution_section(events)
+        loss = section["loss_windows"]
+        assert loss["windows"] == 1
+        assert loss["in"]["count"] == 1 and loss["out"]["count"] == 1
+        assert loss["in"]["mean_abs_error"] == pytest.approx(0.01)
+        fault = section["fault_windows"]
+        assert fault["windows"] == 1
+        assert fault["in"]["count"] == 1 and fault["out"]["count"] == 1
+
+    def test_unrecovered_fault_window_stays_open(self):
+        tq = TelemetryQuality()
+        store = _StubStore({})
+        tq.decision(100.0, store, [_candidate(0.01, 0.0)])
+        events = EventLog()
+        events.fault_injected(fault="server_down", target="node3", time=2.0)
+        section = tq._attribution_section(events)
+        assert section["fault_windows"]["in"]["count"] == 1
+
+
+class TestSnapshot:
+    def test_snapshot_is_deterministic(self, sim, star3):
+        def build():
+            tq = TelemetryQuality()
+            tq.attach_network(star3)
+            tq.configure(
+                layout="star", pairs=[("h2", "h1"), ("h1", "h2")],
+                probing_interval=0.1,
+            )
+            tq.report_ingested(_report(star3, "h1", "h2", 1.0))
+            tq.decision(1.5, _StubStore({}), [_candidate(0.01, 0.02)])
+            return tq.snapshot_records()
+
+        first, second = build(), build()
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+        (record,) = first
+        assert record["kind"] == "telquality"
+        assert record["pairs"] == [["h1", "h2"], ["h2", "h1"]]   # sorted
+
+
+class TestReport:
+    def test_placeholder_on_pre_observatory_export(self):
+        text = render_telemetry_report([{"kind": "metric", "name": "x"}])
+        assert "no telemetry-quality records" in text
+        assert "--telquality" in text
+
+    def test_report_cross_checks_audit_totals(self, sim, star3):
+        tq = TelemetryQuality()
+        tq.attach_network(star3)
+        tq.configure(layout="star", pairs=[("h1", "h2")], probing_interval=0.1)
+        tq.report_ingested(_report(star3, "h1", "h2", 1.0))
+        tq.decision(1.5, _StubStore({}), [_candidate(0.01, 0.02)])
+        (record,) = tq.snapshot_records()
+        audit = {
+            "kind": "decision-audit", "metric": "delay",
+            "candidates": [{"estimated_delay": 0.01, "truth_delay": 0.02}],
+        }
+        text = render_telemetry_report([audit, record])
+        assert "bin counts sum to 1 vs 1 decision-audit samples: OK" in text
+        assert "coverage: 1/3 directed ports observed" in text
+        # Drop the audit record: the cross-check reports the mismatch.
+        extra = dict(audit)
+        extra["candidates"] = audit["candidates"] * 2
+        assert "MISMATCH" in render_telemetry_report([extra, record])

@@ -106,6 +106,9 @@ _FIELD_CHANGES = {
     # Sampling changes the payload (obs_records carries the timeseries),
     # so a sampled run must never alias a plain run's cache entry either.
     "sample_interval": 0.5,
+    # Same reasoning: a telemetry-quality run's payload carries the
+    # kind:"telquality" record.
+    "telquality": True,
 }
 
 

@@ -99,6 +99,45 @@ def test_obs_report_command(capsys, tmp_path):
     assert "policy=aware" in text
     assert "delay error" in text
 
+def test_telemetry_report_command(capsys, tmp_path):
+    obs_out = tmp_path / "tq.jsonl"
+    main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--telquality", "--obs-out", str(obs_out),
+    ])
+    capsys.readouterr()
+    report_out = tmp_path / "report.txt"
+    rc = main(["telemetry-report", str(obs_out), "--out", str(report_out)])
+    assert rc == 0
+    text = report_out.read_text()
+    # Mesh probing on the default 12-switch topology covers every port.
+    assert "coverage: 32/32 directed ports observed (100%)" in text
+    assert "matches the layout's predicted blind set" in text
+    assert "error vs telemetry age" in text
+    assert "decision-audit samples: OK" in text
+    assert "MISMATCH" not in text
+
+
+def test_telemetry_report_placeholder_on_old_export(capsys, tmp_path):
+    """A pre-observatory export (no telquality records) degrades to a
+    pointer at the flag, exit 0."""
+    from repro.obs.export import write_jsonl
+
+    path = tmp_path / "old.jsonl"
+    write_jsonl([{"kind": "metric", "name": "x", "type": "gauge"}], str(path))
+    rc = main(["telemetry-report", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "no telemetry-quality records" in out
+    assert "--telquality" in out
+
+
+def test_telemetry_report_missing_file(capsys):
+    rc = main(["telemetry-report", "/nonexistent/obs.jsonl"])
+    assert rc == 2
+    assert "no such file" in capsys.readouterr().err
+
+
 def test_faults_lists_builtin_scenarios(capsys):
     rc = main(["faults"])
     assert rc == 0
