@@ -10,6 +10,8 @@ Commands map one-to-one onto the experiment harnesses:
 * ``obs-report`` — summarize an observability export (``--obs-out`` file);
 * ``telemetry-report`` — grade the telemetry plane from a ``--telquality``
   export: INT coverage vs prediction, freshness, error-vs-staleness;
+* ``whatif-report`` — counterfactual replay of a ``--whatif`` export:
+  per-decision regret, alternative-policy comparison, regret attribution;
 * ``trace-report`` — summarize a causal span export (``--trace-out`` file);
 * ``dashboard`` — render an ``--obs-out`` export as one self-contained
   HTML page (inline SVG sparklines / heatmap / alert timeline);
@@ -31,8 +33,10 @@ scheduler-decision lifecycles) as JSONL, ``--sample-interval S`` enables
 periodic state sampling (per-link utilization, queue depth, server load,
 telemetry staleness, decision error) plus health-rule alerts in the obs
 export, ``--telquality`` adds the telemetry-quality observatory record
-(read with ``telemetry-report``), and ``--profile`` prints the engine's
-per-event-type hot-path profile after the grid completes.
+(read with ``telemetry-report``), ``--whatif`` adds the counterfactual
+decision observatory record (read with ``whatif-report``), and
+``--profile`` prints the engine's per-event-type hot-path profile after
+the grid completes.
 
 Resilience: ``--run-timeout`` bounds each run's wall clock (hung workers
 become structured failures), ``--retries`` re-runs crashed/timed-out cells
@@ -173,6 +177,13 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
              "(see the telemetry-report command)",
     )
     parser.add_argument(
+        "--whatif", action="store_true",
+        help="collect the counterfactual decision observatory (per-decision "
+             "hindsight regret, alternative-policy replay, staleness "
+             "attribution); the kind:\"whatif\" record rides on the "
+             "--obs-out export (see the whatif-report command)",
+    )
+    parser.add_argument(
         "--run-timeout", type=float, default=None, metavar="SECONDS",
         help="per-run wall-clock timeout; a hung run is killed and recorded "
              "as a structured failure instead of wedging the sweep "
@@ -242,6 +253,7 @@ def _runner_from_args(args: argparse.Namespace):
         mem_profile=bool(getattr(args, "mem_profile", False)),
         sample_interval=getattr(args, "sample_interval", None),
         telquality=bool(getattr(args, "telquality", False)),
+        whatif=bool(getattr(args, "whatif", False)),
         run_timeout=getattr(args, "run_timeout", None),
         retries=getattr(args, "retries", 0),
         journal=journal,
@@ -756,6 +768,27 @@ def cmd_telemetry_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_whatif_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import read_jsonl
+    from repro.obs.whatif import render_whatif_report
+
+    try:
+        records = read_jsonl(args.path)
+    except FileNotFoundError:
+        print(f"error: no such file: {args.path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.path} is not JSONL: {exc}", file=sys.stderr)
+        return 2
+    reporter = _Reporter(args.out)
+    reporter.emit(f"what-if replay report — {args.path}")
+    reporter.emit(render_whatif_report(records))
+    reporter.close()
+    return 0
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     import json
 
@@ -1073,6 +1106,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", help="JSONL file written via --obs-out")
     p.add_argument("--out", type=str, default=None)
     p.set_defaults(fn=cmd_telemetry_report)
+
+    p = sub.add_parser(
+        "whatif-report",
+        help="replay an --obs-out export's decision audits counterfactually: "
+             "per-decision hindsight regret, alternative ranking policies "
+             "scored against the actual scheduler, and regret attributed to "
+             "telemetry staleness (best with --whatif runs)",
+    )
+    p.add_argument("path", help="JSONL file written via --obs-out")
+    p.add_argument("--out", type=str, default=None)
+    p.set_defaults(fn=cmd_whatif_report)
 
     p = sub.add_parser(
         "dashboard",

@@ -140,12 +140,19 @@ class SchedulerService:
             candidates.append(cand)
         # Raw rankings are unsorted — the device chooses, not the scheduler.
         chosen = ranking[0][0] if ranking and metric != METRIC_RAW else None
-        obs.audit.record(
+        decision = obs.audit.record(
             requester_addr=requester_addr,
             metric=metric,
             candidates=candidates,
             chosen_addr=chosen,
         )
+        # Counterfactual replay prices audited delay decisions only.
+        # Baselines consult no telemetry store, so staleness is unknown.
+        whatif = getattr(obs, "whatif", None)
+        if whatif is not None and decision is not None and metric == METRIC_DELAY:
+            whatif.decision(
+                self.host.sim.now, getattr(self, "store", None), candidates, chosen
+            )
 
     def _trace_decision(
         self, obs, requester_addr: int, metric: str, ranking, request_id: int
@@ -340,6 +347,12 @@ class NetworkAwareScheduler(SchedulerService):
         telquality = getattr(obs, "telquality", None)
         if telquality is not None and decision is not None and metric == METRIC_DELAY:
             telquality.decision(self.host.sim.now, self.store, candidates)
+        # Counterfactual replay shares the same gating: audited delay
+        # decisions, with truth and hop ages read per candidate at
+        # decision time — every candidate, not just the chosen one.
+        whatif = getattr(obs, "whatif", None)
+        if whatif is not None and decision is not None and metric == METRIC_DELAY:
+            whatif.decision(self.host.sim.now, self.store, candidates, chosen)
 
     def _trace_decision(
         self, obs, requester_addr: int, metric: str, ranking, request_id: int

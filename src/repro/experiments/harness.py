@@ -363,6 +363,9 @@ def run_experiment(config: ExperimentConfig, *, obs=None, profiler=None) -> Expe
             pairs=probe_pairs,
             probing_interval=config.probing_interval,
         )
+    whatif = getattr(obs, "whatif", None) if obs else None
+    if whatif is not None:
+        whatif.configure(probing_interval=config.probing_interval)
 
     # Workload plan (policy-independent given the seed).
     spec = WorkloadSpec(

@@ -45,6 +45,7 @@ from repro.obs.quantiles import QuantileDigest
 from repro.obs.telquality import TelemetryQuality
 from repro.obs.timeseries import Series, TimeSeriesStore
 from repro.obs.tracing import Span, SpanTracer
+from repro.obs.whatif import WhatIf
 
 __all__ = [
     "Observability",
@@ -67,6 +68,7 @@ __all__ = [
     "Series",
     "TelemetryQuality",
     "TimeSeriesStore",
+    "WhatIf",
     "HealthMonitor",
     "HealthRule",
     "default_rules",
@@ -98,6 +100,7 @@ class Observability:
         ts_capacity: Optional[int] = None,
         health_rules: Optional[Any] = None,
         telquality: bool = False,
+        whatif: bool = False,
     ) -> None:
         if probe_sample < 1:
             raise ValueError("probe_sample must be >= 1")
@@ -148,6 +151,11 @@ class Observability:
         self.telquality: Optional[TelemetryQuality] = (
             TelemetryQuality() if telquality else None
         )
+        # Counterfactual decision observatory — same opt-in contract.
+        self.whatif: Optional[WhatIf] = WhatIf() if whatif else None
+        # Satellite: the bounded audit drops silently past its cap; the
+        # export emits one warning event carrying the final drop count.
+        self._audit_overflow_warned = False
 
     def __bool__(self) -> bool:
         return True
@@ -327,6 +335,19 @@ class Observability:
 
             ts.register(sample_telquality)
 
+        # Per-tick max decision regret feeds the regret_ceiling health
+        # rule; like the other opt-in series, registered only when the
+        # counterfactual observatory is attached.
+        wi = self.whatif
+        if wi is not None:
+
+            def sample_whatif(s: TimeSeriesStore, now: float) -> None:
+                regret = wi.take_max_regret()
+                if regret is not None:
+                    s.record("decision_regret_max", now, regret)
+
+            ts.register(sample_whatif)
+
         rules = self._health_rules
         if rules is None and probing_interval is not None:
             rules = default_rules(probing_interval)
@@ -409,6 +430,17 @@ class Observability:
 
     def snapshot_records(self) -> List[Dict[str, Any]]:
         """Every record this hub holds, JSON-ready, run labels attached."""
+        # The audit drops decisions silently once full; surface the final
+        # count as a single warning event at export time (one-shot so
+        # repeated snapshots stay stable, and runs that never drop export
+        # a byte-identical event stream).
+        if self.audit.dropped_decisions and not self._audit_overflow_warned:
+            self._audit_overflow_warned = True
+            self.events.warning(
+                "decision_audit_overflow",
+                dropped=self.audit.dropped_decisions,
+                max_decisions=self.audit.max_decisions,
+            )
         records = (
             self.metrics.snapshot() + self.events.snapshot() + self.audit.snapshot()
         )
@@ -420,6 +452,10 @@ class Observability:
         # same reason: enabling collection leaves the prefix byte-identical.
         if self.telquality is not None:
             records += self.telquality.snapshot_records(self.events)
+        # The whatif record is last of all: it replays the audit snapshots
+        # above, and appending keeps every earlier kind byte-identical.
+        if self.whatif is not None:
+            records += self.whatif.snapshot_records(self.audit, self.events)
         if self.run:
             run = dict(self.run)
             for record in records:
@@ -464,4 +500,6 @@ class Observability:
             out["health"] = self.health.summary()
         if self.telquality is not None:
             out["telquality"] = self.telquality.summary()
+        if self.whatif is not None:
+            out["whatif"] = self.whatif.summary()
         return out

@@ -22,7 +22,11 @@ Sections, all driven by record kinds that already exist:
   INT-plane quality panels from ``telquality`` records (``--telquality``
   runs): observed-vs-blind directed ports against the layout's
   prediction, per-register refresh quantiles, and the decision-error
-  table binned by consulted-telemetry age.
+  table binned by consulted-telemetry age;
+* **regret CDF / policy comparison** — the counterfactual panels from
+  ``whatif`` records (``--whatif`` runs): the per-decision hindsight
+  regret distribution (digest-backed CDF) and each replayed policy's
+  cumulative regret and win/tie/loss record against the actual scheduler.
 
 Every section renders a placeholder when its records are absent — a
 metrics-only export (or one written before the telemetry-quality
@@ -459,6 +463,77 @@ def _telquality_attribution(record: Dict[str, Any]) -> str:
     return "".join(parts)
 
 
+def _whatif_cdf(record: Dict[str, Any]) -> str:
+    """The per-decision regret CDF, reconstructed from the exported
+    QuantileDigest: cumulative mass at each populated log-bin's midpoint,
+    anchored at the exact min and max."""
+    actual = record.get("actual") or {}
+    data = actual.get("regret_digest")
+    header = (
+        f"<p><code>{_esc(_run_key(record) or '-')}</code> "
+        f"{_fmt(record.get('replayed'))} decisions replayed, actual regret "
+        f"total {_fmt(actual.get('regret_total'))}s "
+        f"(mean {_fmt(actual.get('regret_mean'))}s):</p>"
+    )
+    if not data or not data.get("count"):
+        return header + '<p class="empty">no replayed decisions</p>'
+    from repro.obs.quantiles import QuantileDigest
+
+    digest = QuantileDigest.from_dict(data)
+    points: List[List[float]] = []
+    seen = digest.underflow
+    if digest.min is not None:
+        points.append([digest.min, seen / digest.count])
+    for index in sorted(digest.counts):
+        seen += digest.counts[index]
+        points.append([digest._bin_value(index), seen / digest.count])
+    if digest.max is not None:
+        points.append([digest.max, 1.0])
+    table = (
+        '<table><tr><th class="l">series</th><th>n</th><th>p50</th>'
+        "<th>p95</th><th>max</th></tr>"
+        '<tr><td class="l">per-decision regret</td>'
+        + _digest_cells(data)
+        + "</tr></table>"
+    )
+    return header + (
+        f'<div class="chart"><div class="t">regret CDF (s &rarr; cum. frac.)'
+        f"</div>{_sparkline(points)}</div>" + table
+    )
+
+
+def _whatif_policies(record: Dict[str, Any]) -> str:
+    """Per-policy comparison table with the actual scheduler as baseline."""
+    actual = record.get("actual") or {}
+    parts = [
+        f"<p><code>{_esc(_run_key(record) or '-')}</code> "
+        f"{_fmt(record.get('decisions'))} delay decisions "
+        f"({_fmt(record.get('replayed'))} replayed, "
+        f"{_fmt(record.get('skipped'))} skipped):</p>",
+        '<table><tr><th class="l">policy</th><th>regret total</th>'
+        "<th>regret mean</th><th>wins</th><th>ties</th><th>losses</th>"
+        "<th>differs</th></tr>",
+        '<tr><td class="l">(actual)</td>'
+        f"<td>{_fmt(actual.get('regret_total'))}</td>"
+        f"<td>{_fmt(actual.get('regret_mean'))}</td>"
+        "<td>-</td><td>-</td><td>-</td><td>-</td></tr>",
+    ]
+    for row in record.get("policies") or []:
+        parts.append(
+            "<tr>"
+            f'<td class="l">{_esc(row.get("policy"))}</td>'
+            f"<td>{_fmt(row.get('regret_total'))}</td>"
+            f"<td>{_fmt(row.get('regret_mean'))}</td>"
+            f"<td>{_fmt(row.get('wins'))}</td>"
+            f"<td>{_fmt(row.get('ties'))}</td>"
+            f"<td>{_fmt(row.get('losses'))}</td>"
+            f"<td>{_fmt(row.get('differs'))}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+    return "".join(parts)
+
+
 def _timeseries_of(
     records: List[Dict[str, Any]], name: str
 ) -> List[Dict[str, Any]]:
@@ -596,6 +671,25 @@ def render_dashboard(
         parts.extend(_telquality_attribution(r) for r in telquality)
     else:
         parts.append(no_telquality)
+
+    whatif = sorted(
+        (r for r in records if r.get("kind") == "whatif"),
+        key=_run_key,
+    )
+    no_whatif = (
+        '<p class="empty">no what-if records '
+        "(run with --whatif and --obs-out)</p>"
+    )
+    parts.append("<h2>Regret CDF</h2>")
+    if whatif:
+        parts.extend(_whatif_cdf(r) for r in whatif)
+    else:
+        parts.append(no_whatif)
+    parts.append("<h2>Policy comparison</h2>")
+    if whatif:
+        parts.extend(_whatif_policies(r) for r in whatif)
+    else:
+        parts.append(no_whatif)
 
     parts.append("</body></html>")
     return "\n".join(parts) + "\n"

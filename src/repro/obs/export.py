@@ -20,7 +20,11 @@ The wire format is one JSON object per line, discriminated by ``kind``:
 * ``{"kind": "telquality", ...}`` — the telemetry-quality observatory
   record (INT coverage ledger, freshness digests, decision-error
   attribution; see :mod:`repro.obs.telquality`), present for
-  ``--telquality`` runs and summarized by ``repro telemetry-report``.
+  ``--telquality`` runs and summarized by ``repro telemetry-report``;
+* ``{"kind": "whatif", ...}`` — the counterfactual decision observatory
+  record (per-decision hindsight regret, alternative-policy replay,
+  staleness attribution; see :mod:`repro.obs.whatif`), present for
+  ``--whatif`` runs and summarized by ``repro whatif-report``.
 
 Records exported from a hub with run labels carry them under ``"run"`` so
 multiple runs (e.g. every cell of a policy comparison) can share one file
@@ -131,7 +135,8 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
         f"decision-audit {by_kind.get('decision-audit', 0)}, "
         f"timeseries {by_kind.get('timeseries', 0)}, "
         f"profile {by_kind.get('profile', 0)}, "
-        f"telquality {by_kind.get('telquality', 0)})",
+        f"telquality {by_kind.get('telquality', 0)}, "
+        f"whatif {by_kind.get('whatif', 0)})",
     ]
 
     event_counts: Dict[str, int] = {}
@@ -274,6 +279,28 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
                     f"in {counts['gaps']} gap(s)"
                 )
 
+    # Audit-capacity overflow: the bounded DecisionAudit emits one warning
+    # event per run carrying how many decisions it dropped past its cap, so
+    # truncated audits are never mistaken for complete ones.
+    overflow = [
+        r for r in records
+        if r.get("kind") == "event"
+        and r.get("event") == "warning"
+        and r.get("reason") == "decision_audit_overflow"
+    ]
+    if overflow:
+        lines.append("decision audit overflow (records dropped past capacity):")
+        for r in overflow:
+            key = _run_key(r)
+            label = (
+                ", ".join(f"{k}={v}" for k, v in key) if key else "(unlabeled run)"
+            )
+            lines.append(
+                f"  {label}: {r.get('dropped', '?')} decisions dropped "
+                f"(cap {r.get('max_decisions', '?')}) — audit sections below "
+                f"cover a truncated sample"
+            )
+
     # Per-run (≈ per-policy cell) decision audit summary.
     runs: Dict[Tuple[Tuple[str, Any], ...], List[Dict[str, Any]]] = {}
     for record in records:
@@ -297,12 +324,16 @@ def render_obs_report(records: List[Dict[str, Any]]) -> str:
                 lines.append(
                     f"    delay error: mean {_fmt_ms(stats['mean_error'])}, "
                     f"abs {_fmt_ms(stats['mean_abs_error'])} over "
-                    f"{stats['samples']} candidate estimates "
+                    f"{stats['samples']} candidate estimates, "
+                    f"{stats['skipped']} skipped "
                     f"(mean estimate {_fmt_ms(stats['mean_estimate'])}, "
                     f"mean truth {_fmt_ms(stats['mean_truth'])})"
                 )
             else:
-                lines.append("    delay error: n/a (no paired estimate/truth samples)")
+                lines.append(
+                    "    delay error: n/a (no paired estimate/truth samples, "
+                    f"{stats['skipped']} skipped)"
+                )
 
     # Engine-profile records: top handlers and phase attribution, rendered
     # with the same table the --profile flag prints at run time.

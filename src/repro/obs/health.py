@@ -70,6 +70,8 @@ def default_rules(
     coverage_frac: float = 0.9,
     coverage_consecutive: int = 2,
     ceiling_multiple: float = 10.0,
+    regret_threshold: float = 0.25,
+    regret_consecutive: int = 3,
 ) -> Tuple[HealthRule, ...]:
     """The built-in rule set, parameterized by the run's probing interval.
 
@@ -83,10 +85,15 @@ def default_rules(
     * ``coverage_gap`` — the telemetry-quality observatory sees less than
       ``coverage_frac`` of the directed fabric ports;
     * ``staleness_ceiling`` — a scheduler decision consulted telemetry older
-      than ``ceiling_multiple`` probing intervals.
+      than ``ceiling_multiple`` probing intervals;
+    * ``regret_ceiling`` — a decision's hindsight regret (true delay of the
+      chosen candidate minus the best candidate's) above
+      ``regret_threshold`` seconds, same scale as ``estimate_drift``.
 
-    The last two watch series only the telemetry-quality observatory
-    records (``--telquality`` with sampling); without it they never see a
+    ``coverage_gap``/``staleness_ceiling`` watch series only the
+    telemetry-quality observatory records (``--telquality`` with sampling)
+    and ``regret_ceiling`` only the counterfactual observatory's
+    (``--whatif`` with sampling); without those flags they never see a
     sample and never fire, keeping pre-observatory runs unchanged.
     """
     return (
@@ -114,6 +121,10 @@ def default_rules(
         HealthRule(
             "staleness_ceiling", series="telemetry_decision_age_max",
             threshold=ceiling_multiple * probing_interval, consecutive=2,
+        ),
+        HealthRule(
+            "regret_ceiling", series="decision_regret_max",
+            threshold=regret_threshold, consecutive=regret_consecutive,
         ),
     )
 

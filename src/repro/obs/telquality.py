@@ -65,7 +65,7 @@ def _parse_label(label: Any) -> Optional[Tuple[str, int]]:
         return label
     if isinstance(label, str):
         kind, sep, index = label.partition(":")
-        if sep and index.isdigit():
+        if kind and sep and index.isdigit():
             return (kind, int(index))
     return None
 

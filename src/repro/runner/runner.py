@@ -209,7 +209,11 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
         labels = spec.obs_run()
         sampled = getattr(spec, "sample_interval", None)
         telquality = bool(getattr(spec, "telquality", False))
-        if labels is not None or spec.trace or sampled is not None or telquality:
+        whatif = bool(getattr(spec, "whatif", False))
+        if (
+            labels is not None or spec.trace or sampled is not None
+            or telquality or whatif
+        ):
             from repro.obs import Observability
 
             if labels is None:
@@ -222,7 +226,7 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
                 }
             obs = Observability(
                 run=labels, trace=spec.trace, sample_interval=sampled,
-                telquality=telquality,
+                telquality=telquality, whatif=whatif,
             )
         if memory_capture is not None:
             memory_capture.start()
@@ -232,6 +236,7 @@ def execute_spec(spec: Any) -> Dict[str, Any]:
         payload = result_to_dict(result, include_tasks=True)
         if obs is not None and (
             spec.obs_run() is not None or sampled is not None or telquality
+            or whatif
         ):
             payload["obs_records"] = obs.snapshot_records()
         if obs is not None and spec.trace:
@@ -389,6 +394,7 @@ class Runner:
         mem_profile: bool = False,
         sample_interval: Optional[float] = None,
         telquality: bool = False,
+        whatif: bool = False,
         run_timeout: Optional[float] = None,
         retries: int = 0,
         backoff_base: float = 0.5,
@@ -425,6 +431,7 @@ class Runner:
         self.profile = profile or mem_profile
         self.sample_interval = sample_interval
         self.telquality = telquality
+        self.whatif = whatif
         self.trace_records: List[Dict[str, Any]] = []
         self.profiles: List[Dict[str, Any]] = []
         if obs is not None:
@@ -451,7 +458,7 @@ class Runner:
         started = time.monotonic()
         if (
             self.trace or self.profile or self.sample_interval is not None
-            or self.telquality
+            or self.telquality or self.whatif
         ):
             specs = [
                 spec.instrumented(
@@ -460,6 +467,7 @@ class Runner:
                     mem_profile=self.mem_profile,
                     sample_interval=self.sample_interval,
                     telquality=self.telquality,
+                    whatif=self.whatif,
                 )
                 for spec in specs
             ]

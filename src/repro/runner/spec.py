@@ -148,6 +148,10 @@ class RunSpec:
     # carries the kind:"telquality" record, so it must not alias a plain
     # run's cache entry.
     telquality: bool = False
+    # Counterfactual decision observatory (per-decision regret, policy
+    # replay, staleness attribution).  In the hash for the same reason: an
+    # observed payload carries the kind:"whatif" record.
+    whatif: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_interval is not None and self.sample_interval <= 0:
@@ -331,6 +335,7 @@ class RunSpec:
         mem_profile: bool = False,
         sample_interval: Optional[float] = None,
         telquality: bool = False,
+        whatif: bool = False,
     ) -> "RunSpec":
         """This spec with instrumentation flags ORed in (identity when no
         flag changes, so un-instrumented grids keep their spec objects).
@@ -344,17 +349,20 @@ class RunSpec:
             else sample_interval
         )
         telquality = telquality or self.telquality
+        whatif = whatif or self.whatif
         if (
             trace == self.trace
             and profile == self.profile
             and mem_profile == self.mem_profile
             and sample_interval == self.sample_interval
             and telquality == self.telquality
+            and whatif == self.whatif
         ):
             return self
         return replace(
             self, trace=trace, profile=profile, mem_profile=mem_profile,
             sample_interval=sample_interval, telquality=telquality,
+            whatif=whatif,
         )
 
 
@@ -412,11 +420,12 @@ class CalibrationSpec:
         mem_profile: bool = False,
         sample_interval: Optional[float] = None,
         telquality: bool = False,
+        whatif: bool = False,
     ) -> "CalibrationSpec":
         """Profiling only — calibration runs have nothing to span-trace,
-        periodically sample, or probe (no scheduler, so no telemetry plane
-        to grade).  ``mem_profile`` implies ``profile``."""
-        del trace, sample_interval, telquality
+        periodically sample, or probe (no scheduler, so no decisions to
+        grade or replay).  ``mem_profile`` implies ``profile``."""
+        del trace, sample_interval, telquality, whatif
         mem_profile = mem_profile or self.mem_profile
         profile = profile or self.profile or mem_profile
         if profile != self.profile or mem_profile != self.mem_profile:

@@ -262,3 +262,79 @@ class TestTelqualitySections:
         records = _sample_records() + [_telquality_record()]
         assert render_dashboard(records) == render_dashboard(records)
         assert render_dashboard(records) == render_dashboard(records[::-1])
+
+
+def _whatif_record():
+    return {
+        "kind": "whatif",
+        "run": {"policy": "aware", "seed": 0},
+        "interval": 0.1,
+        "decisions": 3,
+        "replayed": 2,
+        "skipped": 1,
+        "actual": {
+            "regret_total": 0.07,
+            "regret_mean": 0.035,
+            "regret_digest": {
+                "lo": 1e-4, "hi": 1e4, "bins": 256, "count": 2,
+                "underflow": 1, "overflow": 0, "min": 0.0, "max": 0.07,
+                "counts": {"90": 1},
+            },
+        },
+        "policies": [
+            {"policy": "estimate-greedy", "regret_total": 0.0,
+             "regret_mean": 0.0, "wins": 1, "ties": 1, "losses": 0,
+             "differs": 1},
+            {"policy": "oracle", "regret_total": 0.0, "regret_mean": 0.0,
+             "wins": 1, "ties": 1, "losses": 0, "differs": 1},
+        ],
+        "staleness": {"bins": []},
+        "loss_windows": {
+            "windows": 0,
+            "in": {"count": 0, "regret_total": 0.0, "regret_mean": None},
+            "out": {"count": 2, "regret_total": 0.07, "regret_mean": 0.035},
+        },
+        "fault_windows": {
+            "windows": 0,
+            "in": {"count": 0, "regret_total": 0.0, "regret_mean": None},
+            "out": {"count": 2, "regret_total": 0.07, "regret_mean": 0.035},
+        },
+    }
+
+
+class TestWhatifSections:
+    def test_panels_rendered(self):
+        html = render_dashboard(_sample_records() + [_whatif_record()])
+        assert "Regret CDF" in html
+        assert "Policy comparison" in html
+        cdf = html.split("Regret CDF", 1)[1]
+        assert "regret CDF" in cdf
+        assert "per-decision regret" in cdf
+        policies = html.split("Policy comparison", 1)[1]
+        assert "(actual)" in policies
+        assert "estimate-greedy" in policies
+        assert "oracle" in policies
+        assert "3 delay decisions" in policies
+        assert "2 replayed" in policies
+
+    def test_page_with_whatif_stays_self_contained(self):
+        html = render_dashboard(_sample_records() + [_whatif_record()])
+        assert "http://" not in html
+        assert "https://" not in html
+        assert "<script" not in html
+        assert not re.search(r"\bsrc\s*=", html)
+
+    def test_old_format_export_renders_placeholders(self):
+        html = render_dashboard(_sample_records() + [_telquality_record()])
+        assert html.count("no what-if records") == 2
+
+    def test_empty_digest_degrades_gracefully(self):
+        record = _whatif_record()
+        record["actual"]["regret_digest"] = None
+        html = render_dashboard(_sample_records() + [record])
+        assert "no replayed decisions" in html
+
+    def test_deterministic_with_whatif(self):
+        records = _sample_records() + [_whatif_record()]
+        assert render_dashboard(records) == render_dashboard(records)
+        assert render_dashboard(records) == render_dashboard(records[::-1])

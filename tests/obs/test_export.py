@@ -143,6 +143,24 @@ class TestReport:
         records.append({"kind": "telquality"})
         assert "telquality 1" in render_obs_report(records)
 
+    def test_whatif_counted_in_header(self):
+        records = _populated_hub().snapshot_records()
+        assert "whatif 0" in render_obs_report(records)
+        records.append({"kind": "whatif"})
+        assert "whatif 1" in render_obs_report(records)
+
+    def test_delay_error_line_reports_skipped_candidates(self):
+        obs = Observability(run={"policy": "aware"})
+        obs.audit.record(
+            requester_addr=1, metric="delay", chosen_addr=2,
+            candidates=[
+                {"server_addr": 2, "estimated_delay": 0.03, "truth_delay": 0.01},
+                {"server_addr": 3, "estimated_delay": 0.05, "truth_delay": None},
+            ],
+        )
+        report = render_obs_report(obs.snapshot_records())
+        assert "1 skipped" in report
+
     def test_resilience_section_surfaces_failures(self):
         obs = Observability()
         obs.events.emit(

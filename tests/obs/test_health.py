@@ -43,7 +43,7 @@ class TestRule:
         rules = {r.name: r for r in default_rules(0.1)}
         assert set(rules) == {
             "queue_saturation", "telemetry_stale", "estimate_drift", "probe_loss",
-            "coverage_gap", "staleness_ceiling",
+            "coverage_gap", "staleness_ceiling", "regret_ceiling",
         }
         assert rules["telemetry_stale"].threshold == pytest.approx(0.5)
         assert rules["staleness_ceiling"].threshold == pytest.approx(1.0)
@@ -51,6 +51,9 @@ class TestRule:
         assert rules["coverage_gap"].comparison == "lte"
         assert rules["coverage_gap"].breached(0.8)
         assert not rules["coverage_gap"].breached(0.95)
+        # Regret is an absolute latency cost, same scale as estimate_drift.
+        assert rules["regret_ceiling"].series == "decision_regret_max"
+        assert rules["regret_ceiling"].threshold == pytest.approx(0.25)
 
     def test_duplicate_rule_names_rejected(self):
         rule = HealthRule("dup", series="s", threshold=1.0)

@@ -1,0 +1,55 @@
+"""Node-label round trips: every node-id kind must survive label/parse.
+
+``repro.obs.audit.node_label`` and ``repro.core.ranking._node_label`` both
+render a :data:`~repro.telemetry.records.TelemetryNodeId` as ``kind:index``;
+``repro.obs.telquality._parse_label`` (shared by the counterfactual
+observatory's hop-age computation) inverts them.  The telemetry plane has
+exactly two node-id constructors — ``switch_node`` and ``host_node`` — and
+staleness attribution silently drops any hop whose label fails to parse, so
+a formatting drift here would surface only as quietly-empty age bins.
+"""
+
+import pytest
+
+from repro.core.ranking import _node_label
+from repro.obs.audit import node_label
+from repro.obs.telquality import _parse_label
+from repro.telemetry.records import host_node, switch_node
+
+ALL_NODE_KINDS = [
+    switch_node(0),
+    switch_node(3),
+    switch_node(1234),
+    host_node(0),
+    host_node(101),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("node", ALL_NODE_KINDS, ids=str)
+    def test_audit_label_parses_back(self, node):
+        assert _parse_label(node_label(node)) == node
+
+    @pytest.mark.parametrize("node", ALL_NODE_KINDS, ids=str)
+    def test_ranking_label_parses_back(self, node):
+        assert _parse_label(_node_label(node)) == node
+
+    @pytest.mark.parametrize("node", ALL_NODE_KINDS, ids=str)
+    def test_both_renderers_agree(self, node):
+        assert node_label(node) == _node_label(node)
+
+    def test_constructors_cover_the_expected_kinds(self):
+        # New node kinds must be added to ALL_NODE_KINDS above (and the
+        # parse-back checked) — this canary fails when one appears.
+        assert {node[0] for node in ALL_NODE_KINDS} == {"sw", "host"}
+        assert switch_node(3) == ("sw", 3)
+        assert host_node(101) == ("host", 101)
+
+    def test_tuple_passthrough(self):
+        assert _parse_label(("sw", 3)) == ("sw", 3)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "sw", "sw:", "sw:x", ":3", "sw:3:4", None, 7, ["sw", 3]]
+    )
+    def test_malformed_labels_return_none(self, bad):
+        assert _parse_label(bad) is None

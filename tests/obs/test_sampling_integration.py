@@ -42,7 +42,7 @@ class TestSampledRun:
         assert obs.health is not None
         assert {r.name for r in obs.health.rules} == {
             "queue_saturation", "telemetry_stale", "estimate_drift", "probe_loss",
-            "coverage_gap", "staleness_ceiling",
+            "coverage_gap", "staleness_ceiling", "regret_ceiling",
         }
 
     def test_timeseries_records_appended_after_existing_kinds(self):
@@ -95,7 +95,7 @@ class TestSampledRun:
         summary = obs.summary()
         assert summary["timeseries"]["interval"] == 0.5
         assert summary["timeseries"]["ticks"] == obs.timeseries.ticks
-        assert summary["health"]["rules"] == 6
+        assert summary["health"]["rules"] == 7
 
     def test_link_utilization_values_sane(self):
         _, obs = _run(sample_interval=0.5)

@@ -109,6 +109,8 @@ _FIELD_CHANGES = {
     # Same reasoning: a telemetry-quality run's payload carries the
     # kind:"telquality" record.
     "telquality": True,
+    # ... and a counterfactual run's carries the kind:"whatif" record.
+    "whatif": True,
 }
 
 

@@ -138,6 +138,56 @@ def test_telemetry_report_missing_file(capsys):
     assert "no such file" in capsys.readouterr().err
 
 
+def test_whatif_report_command(capsys, tmp_path):
+    obs_out = tmp_path / "wi.jsonl"
+    main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--whatif", "--obs-out", str(obs_out),
+    ])
+    capsys.readouterr()
+    report_out = tmp_path / "report.txt"
+    rc = main(["whatif-report", str(obs_out), "--out", str(report_out)])
+    assert rc == 0
+    text = report_out.read_text()
+    assert "policy=aware" in text
+    assert "oracle hindsight check" in text
+    assert "decision-audit delay decisions: OK" in text
+    assert "regret vs stalest consulted telemetry age" in text
+    assert "MISMATCH" not in text
+
+
+def test_whatif_report_offline_fallback_on_plain_export(capsys, tmp_path):
+    """An export without whatif records but with ground-truth audits still
+    replays offline (regret tables, no staleness attribution)."""
+    obs_out = tmp_path / "plain.jsonl"
+    main([
+        "compare", "--figure", "fig5", "--scale", "smoke",
+        "--classes", "VS", "--obs-out", str(obs_out),
+    ])
+    capsys.readouterr()
+    rc = main(["whatif-report", str(obs_out)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "replaying decision audits offline" in out
+    assert "oracle" in out
+
+
+def test_whatif_report_placeholder_on_unusable_export(capsys, tmp_path):
+    from repro.obs.export import write_jsonl
+
+    path = tmp_path / "old.jsonl"
+    write_jsonl([{"kind": "metric", "name": "x", "type": "gauge"}], str(path))
+    rc = main(["whatif-report", str(path)])
+    assert rc == 0
+    assert "--whatif" in capsys.readouterr().out
+
+
+def test_whatif_report_missing_file(capsys):
+    rc = main(["whatif-report", "/nonexistent/obs.jsonl"])
+    assert rc == 2
+    assert "no such file" in capsys.readouterr().err
+
+
 def test_faults_lists_builtin_scenarios(capsys):
     rc = main(["faults"])
     assert rc == 0
